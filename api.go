@@ -1,0 +1,222 @@
+package erminer
+
+import (
+	"fmt"
+
+	"erminer/internal/cfd"
+	"erminer/internal/core"
+	"erminer/internal/datagen"
+	"erminer/internal/enuminer"
+	"erminer/internal/errgen"
+	"erminer/internal/measure"
+	"erminer/internal/metrics"
+	"erminer/internal/relation"
+	"erminer/internal/repair"
+	"erminer/internal/rlminer"
+	"erminer/internal/rule"
+	"erminer/internal/schema"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Problem is one editing-rule discovery instance (paper Problem 1).
+	Problem = core.Problem
+	// Miner is a rule-discovery algorithm.
+	Miner = core.Miner
+	// MinedRule pairs a discovered rule with its measures.
+	MinedRule = core.MinedRule
+	// ResultSet is the output of one mining run.
+	ResultSet = core.ResultSet
+	// Rule is one editing rule φ = ((X, X_m) → (Y, Y_m), t_p).
+	Rule = rule.Rule
+	// Relation is a dictionary-encoded, column-oriented table.
+	Relation = relation.Relation
+	// Schema is an ordered attribute list.
+	Schema = relation.Schema
+	// Attribute describes one column.
+	Attribute = relation.Attribute
+	// Pool owns the shared value dictionaries of a dataset.
+	Pool = relation.Pool
+	// Match is the schema match M between input and master schemas.
+	Match = schema.Match
+	// Measures aggregates Support, Certainty, Quality and Utility.
+	Measures = measure.Measures
+	// PRF is a precision/recall/F-measure triple.
+	PRF = metrics.PRF
+	// RepairResult holds per-tuple predicted fixes.
+	RepairResult = repair.Result
+)
+
+// Null is the dictionary code of a missing value.
+const Null = relation.Null
+
+// EnuMinerConfig configures the enumeration miner.
+type EnuMinerConfig = enuminer.Config
+
+// NewEnuMiner returns the exhaustive enumeration miner (paper §II-D).
+func NewEnuMiner(cfg EnuMinerConfig) Miner { return enuminer.New(cfg) }
+
+// NewEnuMinerH3 returns EnuMinerH3, the length-3-bounded heuristic
+// variant (paper §V-D2).
+func NewEnuMinerH3(cfg EnuMinerConfig) Miner { return enuminer.NewH3(cfg) }
+
+// RLMinerConfig configures the reinforcement-learning miner.
+type RLMinerConfig = rlminer.Config
+
+// RLMiner is the reinforcement-learning miner (paper Alg. 3). Beyond the
+// Miner interface it supports fine-tuning via MineFineTuned and exposes
+// training statistics via Stats.
+type RLMiner = rlminer.Miner
+
+// NewRLMiner returns the RL-based miner, the paper's main contribution.
+func NewRLMiner(cfg RLMinerConfig) *RLMiner { return rlminer.New(cfg) }
+
+// CTANEConfig configures the CFD-discovery baseline.
+type CTANEConfig = cfd.Config
+
+// NewCTANE returns the CFD-discovery baseline miner (constant CFDs mined
+// on master data and converted to editing rules).
+func NewCTANE(cfg CTANEConfig) Miner { return cfd.New(cfg) }
+
+// Dataset bundles a generated benchmark dataset: clean input, master
+// data, schema match and dependent attribute pair.
+type Dataset struct {
+	inner *datagen.Dataset
+	// Clean is the input relation before any error injection.
+	Clean *Relation
+}
+
+// DatasetSpec selects dataset sizes and sampling.
+type DatasetSpec struct {
+	// InputSize and MasterSize are tuple counts; zero means the paper's
+	// Table I sizes.
+	InputSize, MasterSize int
+	// DuplicateRate, when >= 0, fixes the fraction of input tuples that
+	// correspond to master entities; negative means independent samples.
+	DuplicateRate float64
+	// Seed drives generation and sampling.
+	Seed int64
+}
+
+// DatasetNames lists the built-in benchmark datasets: adult, covid,
+// nursery, location.
+func DatasetNames() []string { return datagen.AllNames() }
+
+// BuildDataset materialises one of the built-in benchmark datasets.
+func BuildDataset(name string, spec DatasetSpec) (*Dataset, error) {
+	w, err := datagen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	dr := spec.DuplicateRate
+	if dr == 0 {
+		dr = -1
+	}
+	ds, err := w.Build(datagen.Spec{
+		InputSize:     spec.InputSize,
+		MasterSize:    spec.MasterSize,
+		DuplicateRate: dr,
+		Seed:          spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{inner: ds, Clean: ds.Input.Clone()}, nil
+}
+
+// Input returns the (mutable) input relation D.
+func (d *Dataset) Input() *Relation { return d.inner.Input }
+
+// Master returns the master relation D_m.
+func (d *Dataset) Master() *Relation { return d.inner.Master }
+
+// Match returns the schema match M.
+func (d *Dataset) Match() *Match { return d.inner.Match }
+
+// Y returns the dependent attribute index in the input schema.
+func (d *Dataset) Y() int { return d.inner.Y }
+
+// Ym returns the dependent attribute index in the master schema.
+func (d *Dataset) Ym() int { return d.inner.Ym }
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.inner.Name }
+
+// Problem builds the discovery problem for this dataset. A zero support
+// threshold selects the dataset's size-scaled default η_s.
+func (d *Dataset) Problem(supportThreshold int) *Problem {
+	if supportThreshold == 0 {
+		supportThreshold = d.inner.SupportThreshold
+	}
+	return &Problem{
+		Input:            d.inner.Input,
+		Master:           d.inner.Master,
+		Match:            d.inner.Match,
+		Y:                d.inner.Y,
+		Ym:               d.inner.Ym,
+		SupportThreshold: supportThreshold,
+	}
+}
+
+// Truth returns the ground-truth codes of the dependent column (from the
+// clean copy taken before error injection).
+func (d *Dataset) Truth() []int32 {
+	return errgen.TruthColumn(d.Clean, d.inner.Y)
+}
+
+// NoiseConfig controls error injection.
+type NoiseConfig struct {
+	// Rate is the per-cell corruption probability.
+	Rate float64
+	// Cols restricts injection to these columns; nil means all.
+	Cols []int
+	// Seed drives the randomness.
+	Seed int64
+}
+
+// InjectErrors corrupts the dataset's input relation in place (BART-style
+// typos, substitutions and missing values) and returns the number of
+// corrupted cells. The clean copy in d.Clean is unaffected.
+func (d *Dataset) InjectErrors(cfg NoiseConfig) int {
+	errs := errgen.Inject(d.inner.Input, errgen.Config{
+		Rate: cfg.Rate,
+		Cols: cfg.Cols,
+		Rng:  newRand(cfg.Seed),
+	})
+	return len(errs)
+}
+
+// Repair applies a mined rule set to the problem's input relation,
+// returning per-tuple candidate fixes aggregated across rules by summed
+// certainty score (paper §V-B2).
+func Repair(p *Problem, rules []MinedRule) RepairResult {
+	rs := &ResultSet{Rules: rules}
+	return repair.Apply(p.NewEvaluator(), rs.RuleList())
+}
+
+// WriteFixes writes predicted fixes into the relation's dependent column;
+// onlyMissing restricts to Null cells (imputation). Returns cells changed.
+func WriteFixes(rel *Relation, y int, res RepairResult, onlyMissing bool) int {
+	return repair.WriteFixes(rel, y, res, onlyMissing)
+}
+
+// Evaluate scores predictions against truths with the paper's weighted
+// precision / recall / F-measure (§V-A2).
+func Evaluate(pred, truth []int32) PRF {
+	return metrics.Weighted(pred, truth)
+}
+
+// FormatRule renders a rule with attribute names and values.
+func FormatRule(p *Problem, r *Rule) string {
+	return r.String(p.Input, p.Master.Schema())
+}
+
+// Validate sanity-checks a problem, returning a descriptive error for
+// malformed inputs.
+func Validate(p *Problem) error {
+	if p == nil {
+		return fmt.Errorf("erminer: nil problem")
+	}
+	return p.Validate()
+}

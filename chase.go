@@ -1,0 +1,107 @@
+package erminer
+
+import (
+	"fmt"
+	"io"
+
+	"erminer/internal/core"
+	"erminer/internal/repair"
+	"erminer/internal/rlminer"
+	"erminer/internal/schema"
+)
+
+// ChaseTarget is one dependent attribute with its rule set for
+// multi-attribute chase repair.
+type ChaseTarget = repair.Target
+
+// ChaseResult reports a chase run.
+type ChaseResult = repair.ChaseResult
+
+// Chase repairs several attributes of the input relation iteratively
+// (the certain-fix chase of Fan et al. that editing rules were designed
+// for): a fix on one attribute can provide the join evidence another
+// attribute's rules need, so the targets are re-applied round by round
+// until a fixpoint. Each cell is fixed at most once, guaranteeing
+// termination. The input relation is modified in place.
+func Chase(input, master *Relation, targets []ChaseTarget, maxRounds int) ChaseResult {
+	return repair.Chase(input, master, targets, maxRounds)
+}
+
+// Explanation justifies the fix proposed for one tuple: the covering
+// rules, their candidates and the certainty-score arithmetic.
+type Explanation = repair.Explanation
+
+// Explain reconstructs why the rule set proposes its fix for input tuple
+// row — the interpretability rule-based cleaning is chosen for. Render
+// it with Explanation.Format.
+func Explain(p *Problem, rules []MinedRule, row int) Explanation {
+	rs := &ResultSet{Rules: rules}
+	return repair.Explain(p.NewEvaluator(), rs.RuleList(), row)
+}
+
+// CertainRepairResult is the outcome of RepairCertain.
+type CertainRepairResult = repair.CertainResult
+
+// RepairCertain applies only certain fixes (f_c = 1, unique candidate) —
+// the semantics editing rules were designed for in Fan et al. [18].
+// Ambiguous evidence leaves cells untouched; disagreeing certain rules
+// are reported as conflicts instead of resolved by vote. Use Repair for
+// the paper's certainty-score aggregation (§V-B2).
+func RepairCertain(p *Problem, rules []MinedRule) CertainRepairResult {
+	rs := &ResultSet{Rules: rules}
+	return repair.ApplyCertain(p.NewEvaluator(), rs.RuleList())
+}
+
+// MineAll discovers rules for every matched attribute of the problem
+// (each in turn playing the dependent attribute Y) using miners produced
+// by the factory, and returns one chase target per attribute that
+// yielded rules. This is the multi-attribute front door: combine it with
+// Chase to repair a whole relation rather than a single column.
+func MineAll(p *Problem, newMiner func(y int) Miner) ([]ChaseTarget, error) {
+	var targets []ChaseTarget
+	for _, y := range p.Match.InputAttrs() {
+		yms := p.Match.Of(y)
+		if len(yms) == 0 {
+			continue
+		}
+		sub := *p
+		sub.Y = y
+		sub.Ym = yms[0]
+		res, err := newMiner(y).Mine(&sub)
+		if err != nil {
+			return nil, fmt.Errorf("erminer: mining attribute %s: %w",
+				p.Input.Schema().Attr(y).Name, err)
+		}
+		if len(res.Rules) == 0 {
+			continue
+		}
+		targets = append(targets, ChaseTarget{Y: y, Rules: res.RuleList()})
+	}
+	return targets, nil
+}
+
+// InferMatchConfig tunes the instance-based schema matcher.
+type InferMatchConfig = schema.InferConfig
+
+// InferMatch discovers the schema match M from value overlap between the
+// two relations' columns (plus a same-name bonus). The paper assumes M
+// is given; use this when it is not. Note that a match inferred this way
+// is only usable for mining if the matched columns share dictionaries —
+// relations built through BuildDataset or LoadCSVProblem satisfy that;
+// for hand-built relations, assign matched attributes a common Domain.
+func InferMatch(input, master *Relation, cfg InferMatchConfig) *Match {
+	return schema.InferMatch(input, master, cfg)
+}
+
+// SavedModel is a persisted RLMiner value network plus the refinement
+// dimensions it was trained on.
+type SavedModel = rlminer.SavedModel
+
+// SaveModel persists a trained RLMiner's value network for later
+// fine-tuning (possibly in another process).
+func SaveModel(m *RLMiner, w io.Writer) error { return m.SaveModel(w) }
+
+// LoadModel reads a model persisted with SaveModel.
+func LoadModel(r io.Reader) (*SavedModel, error) { return rlminer.LoadModel(r) }
+
+var _ core.Miner = (*rlminer.Miner)(nil)

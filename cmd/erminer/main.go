@@ -1,0 +1,245 @@
+// Command erminer mines editing rules — on a built-in benchmark dataset
+// or on your own CSV files — and optionally repairs the dirty input with
+// them.
+//
+// Benchmark mode:
+//
+//	erminer -dataset covid -method rlminer -k 20 -noise 0.1 -seed 1
+//
+// CSV mode (schema match inferred from value overlap unless -match is
+// given):
+//
+//	erminer -input-csv shops.csv -master-csv directory.csv \
+//	        -y postcode -ym postcode -match district=district,area=area
+//
+// Artifacts:
+//
+//	-export-rules rules.json    write discovered rules as portable JSON
+//	-save-model model.bin       persist the RLMiner value network
+//	-load-model model.bin       fine-tune a persisted model (RLMiner-ft)
+//
+// Methods: rlminer (default), enuminer, enuminerh3, ctane.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"erminer"
+)
+
+type options struct {
+	dataset   string
+	method    string
+	k         int
+	noise     float64
+	seed      int64
+	input     int
+	master    int
+	eta       int
+	steps     int
+	doRepair  bool
+	verbose   bool
+	inputCSV  string
+	masterCSV string
+	y, ym     string
+	match     string
+	exportTo  string
+	saveModel string
+	loadModel string
+	explain   int
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.dataset, "dataset", "covid", "benchmark dataset: adult, covid, nursery or location")
+	flag.StringVar(&o.method, "method", "rlminer", "miner: rlminer, enuminer, enuminerh3 or ctane")
+	flag.IntVar(&o.k, "k", 50, "number of rules to discover (top-K)")
+	flag.Float64Var(&o.noise, "noise", 0.10, "cell error-injection rate (benchmark mode)")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.input, "input", 0, "input size (0 = paper default; benchmark mode)")
+	flag.IntVar(&o.master, "master", 0, "master size (0 = paper default; benchmark mode)")
+	flag.IntVar(&o.eta, "eta", 0, "support threshold (0 = dataset default)")
+	flag.IntVar(&o.steps, "steps", 5000, "RLMiner training steps")
+	flag.BoolVar(&o.doRepair, "repair", true, "apply rules and report results")
+	flag.BoolVar(&o.verbose, "v", false, "print every discovered rule")
+	flag.StringVar(&o.inputCSV, "input-csv", "", "input CSV path (enables CSV mode)")
+	flag.StringVar(&o.masterCSV, "master-csv", "", "master CSV path (CSV mode)")
+	flag.StringVar(&o.y, "y", "", "dependent input column (CSV mode)")
+	flag.StringVar(&o.ym, "ym", "", "dependent master column (CSV mode)")
+	flag.StringVar(&o.match, "match", "", "schema match as in1=ms1,in2=ms2 (CSV mode; empty = infer)")
+	flag.StringVar(&o.exportTo, "export-rules", "", "write discovered rules to this JSON file")
+	flag.StringVar(&o.saveModel, "save-model", "", "persist the RLMiner value network to this file")
+	flag.StringVar(&o.loadModel, "load-model", "", "fine-tune a persisted RLMiner model from this file")
+	flag.IntVar(&o.explain, "explain", -1, "print the repair explanation for this tuple index")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "erminer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) (err error) {
+	var p *erminer.Problem
+	var truth []int32
+
+	if o.inputCSV != "" {
+		if o.masterCSV == "" || o.y == "" || o.ym == "" {
+			return fmt.Errorf("CSV mode needs -master-csv, -y and -ym")
+		}
+		var pairs map[string]string
+		if o.match != "" {
+			pairs = make(map[string]string)
+			for _, kv := range strings.Split(o.match, ",") {
+				in, ms, ok := strings.Cut(kv, "=")
+				if !ok {
+					return fmt.Errorf("bad -match entry %q (want in=ms)", kv)
+				}
+				pairs[in] = ms
+			}
+		}
+		p, err = erminer.LoadCSVProblem(erminer.CSVSpec{
+			InputPath:        o.inputCSV,
+			MasterPath:       o.masterCSV,
+			Y:                o.y,
+			Ym:               o.ym,
+			MatchPairs:       pairs,
+			SupportThreshold: o.eta,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		ds, err := erminer.BuildDataset(o.dataset, erminer.DatasetSpec{
+			InputSize:  o.input,
+			MasterSize: o.master,
+			Seed:       o.seed,
+		})
+		if err != nil {
+			return err
+		}
+		if o.noise > 0 {
+			n := ds.InjectErrors(erminer.NoiseConfig{Rate: o.noise, Seed: o.seed + 1})
+			fmt.Printf("injected %d cell errors at rate %.2f\n", n, o.noise)
+		}
+		p = ds.Problem(o.eta)
+		truth = ds.Truth()
+	}
+	p.TopK = o.k
+	fmt.Printf("problem: input %d×%d, master %d×%d, |M|=%d, η_s=%d, K=%d\n",
+		p.Input.NumRows(), p.Input.Schema().Len(),
+		p.Master.NumRows(), p.Master.Schema().Len(),
+		p.Match.Size(), p.SupportThreshold, p.K())
+
+	var res *erminer.ResultSet
+	var rlm *erminer.RLMiner
+	name := strings.ToLower(o.method)
+	start := time.Now()
+	switch name {
+	case "rlminer":
+		rlm = erminer.NewRLMiner(erminer.RLMinerConfig{TrainSteps: o.steps, Seed: o.seed})
+		if o.loadModel != "" {
+			saved, err := loadModelFile(o.loadModel)
+			if err != nil {
+				return err
+			}
+			res, err = rlm.MineFineTunedFromSaved(p, saved)
+			if err != nil {
+				return err
+			}
+		} else {
+			res, err = rlm.Mine(p)
+			if err != nil {
+				return err
+			}
+		}
+	case "enuminer":
+		res, err = erminer.NewEnuMiner(erminer.EnuMinerConfig{}).Mine(p)
+	case "enuminerh3":
+		res, err = erminer.NewEnuMinerH3(erminer.EnuMinerConfig{}).Mine(p)
+	case "ctane":
+		res, err = erminer.NewCTANE(erminer.CTANEConfig{}).Mine(p)
+	default:
+		return fmt.Errorf("unknown method %q", o.method)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s discovered %d rules in %v (explored %d candidates)\n",
+		o.method, len(res.Rules), time.Since(start).Round(time.Millisecond), res.Explored)
+
+	show := len(res.Rules)
+	if !o.verbose && show > 10 {
+		show = 10
+	}
+	for i := 0; i < show; i++ {
+		r := res.Rules[i]
+		fmt.Printf("  #%-3d U=%-8.2f S=%-6d C=%.3f Q=%+.3f  %s\n",
+			i+1, r.Measures.Utility, r.Measures.Support,
+			r.Measures.Certainty, r.Measures.Quality,
+			erminer.FormatRule(p, r.Rule))
+	}
+	if show < len(res.Rules) {
+		fmt.Printf("  ... %d more (use -v to print all)\n", len(res.Rules)-show)
+	}
+
+	if o.exportTo != "" {
+		data, err := erminer.ExportRules(p, res.Rules)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.exportTo, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("exported rules to %s\n", o.exportTo)
+	}
+	if o.saveModel != "" {
+		if rlm == nil {
+			return fmt.Errorf("-save-model requires -method rlminer")
+		}
+		f, err := os.Create(o.saveModel)
+		if err != nil {
+			return err
+		}
+		if err := erminer.SaveModel(rlm, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved model to %s\n", o.saveModel)
+	}
+
+	if o.explain >= 0 {
+		if o.explain >= p.Input.NumRows() {
+			return fmt.Errorf("-explain %d out of range (%d tuples)", o.explain, p.Input.NumRows())
+		}
+		exp := erminer.Explain(p, res.Rules, o.explain)
+		fmt.Print(exp.Format(p.Input, p.Master.Schema(), p.Y))
+	}
+
+	if o.doRepair {
+		fixes := erminer.Repair(p, res.Rules)
+		fmt.Printf("repair: covered %d/%d tuples\n", fixes.Covered, p.Input.NumRows())
+		if truth != nil {
+			prf := erminer.Evaluate(fixes.Pred, truth)
+			fmt.Printf("repair quality: weighted P=%.3f R=%.3f F1=%.3f\n",
+				prf.Precision, prf.Recall, prf.F1)
+		}
+	}
+	return nil
+}
+
+func loadModelFile(path string) (*erminer.SavedModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return erminer.LoadModel(f)
+}

@@ -1,0 +1,49 @@
+// Command experiments regenerates the paper's evaluation section: every
+// table and figure of §V has a driver that prints the same rows/series.
+//
+// Usage:
+//
+//	experiments -run all                 # everything, mid-size data
+//	experiments -run tableIII -scale paper -repeats 5
+//	experiments -run figure8 -scale bench
+//
+// Experiments: tableI tableII tableIII figure2 figure6 figure7 figure8
+// figure9 figure10 figure11 figure12, or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"erminer/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment name or 'all'")
+		scale   = flag.String("scale", "default", "data scale: bench, default or paper")
+		repeats = flag.Int("repeats", 0, "repeated runs per cell (0 = scale default)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := &experiments.Config{
+		Scale:   sc,
+		Repeats: *repeats,
+		Seed:    *seed,
+		Out:     os.Stdout,
+	}
+	start := time.Now()
+	if err := cfg.Run(*run); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,33 @@
+// Package erminer is a from-scratch Go implementation of editing-rule
+// discovery, reproducing "Discovering Editing Rules by Deep Reinforcement
+// Learning" (ICDE 2023).
+//
+// Editing rules (eRs) apply high-quality master data to repair
+// low-quality input data: a rule φ = ((X, X_m) → (Y, Y_m), t_p) says
+// that when an input tuple t matches the pattern t_p and agrees with a
+// master tuple t_m on the attribute lists (X, X_m), then t[Y] can be
+// fixed to t_m[Y_m]. This package discovers such rules automatically
+// with three algorithms:
+//
+//   - RLMiner — the paper's contribution: a deep-Q-network agent grows a
+//     rule tree, learning which refinements (LHS attribute pairs or
+//     pattern conditions) are worth exploring, guided by a utility-based
+//     reward. It avoids enumerating the exponential condition space.
+//   - EnuMiner — the exhaustive enumeration baseline with support,
+//     certainty and redundancy pruning (and the H3 length-bounded
+//     heuristic variant).
+//   - CTANE — the CFD-discovery baseline: conditional functional
+//     dependencies mined on master data, converted to editing rules.
+//
+// The typical workflow is:
+//
+//	ds, _ := erminer.BuildDataset("covid", erminer.DatasetSpec{InputSize: 2500, MasterSize: 1824, Seed: 1})
+//	problem := ds.Problem(0) // support threshold from dataset default
+//	miner := erminer.NewRLMiner(erminer.RLMinerConfig{Seed: 1})
+//	result, _ := miner.Mine(problem)
+//	fixes := erminer.Repair(problem, result.Rules)
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+package erminer

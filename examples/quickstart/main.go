@@ -1,0 +1,57 @@
+// Quickstart: generate a benchmark dataset, dirty it, discover editing
+// rules with RLMiner, and repair the dirty cells with the master data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"erminer"
+)
+
+func main() {
+	// 1. Build the Covid benchmark: self-reported registration data
+	//    (input) plus the curated national records (master data).
+	ds, err := erminer.BuildDataset("covid", erminer.DatasetSpec{
+		InputSize:  2500,
+		MasterSize: 1824,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Corrupt 10% of the input cells with typos, substitutions and
+	//    missing values (the clean copy is kept for scoring).
+	n := ds.InjectErrors(erminer.NoiseConfig{Rate: 0.10, Seed: 2})
+	fmt.Printf("injected %d cell errors\n", n)
+
+	// 3. Discover editing rules with the reinforcement-learning miner.
+	p := ds.Problem(0) // 0 = dataset-default support threshold
+	p.TopK = 20
+	miner := erminer.NewRLMiner(erminer.RLMinerConfig{TrainSteps: 5000, Seed: 3})
+	res, err := miner.Mine(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered %d rules; top rules:\n", len(res.Rules))
+	for i, r := range res.Rules {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  U=%-7.2f S=%-5d C=%.2f Q=%+.2f  %s\n",
+			r.Measures.Utility, r.Measures.Support, r.Measures.Certainty,
+			r.Measures.Quality, erminer.FormatRule(p, r.Rule))
+	}
+
+	// 4. Repair: aggregate candidate fixes across rules by certainty
+	//    score and score the result against the known truth.
+	fixes := erminer.Repair(p, res.Rules)
+	prf := erminer.Evaluate(fixes.Pred, ds.Truth())
+	fmt.Printf("repair covered %d/%d tuples: P=%.3f R=%.3f F1=%.3f\n",
+		fixes.Covered, p.Input.NumRows(), prf.Precision, prf.Recall, prf.F1)
+
+	// 5. Write the fixes back into the input relation.
+	changed := erminer.WriteFixes(p.Input, ds.Y(), fixes, false)
+	fmt.Printf("wrote %d fixed cells into the input relation\n", changed)
+}

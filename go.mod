@@ -1,0 +1,3 @@
+module erminer
+
+go 1.22

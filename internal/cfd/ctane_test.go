@@ -1,0 +1,226 @@
+package cfd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"erminer/internal/core"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+	"erminer/internal/schema"
+)
+
+// fdProblem plants an exact FD (A, B) → Y in the master data; input data
+// shares the distribution.
+func fdProblem(t testing.TB, seed int64) *core.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	for i := 0; i < 400; i++ {
+		a, b := rng.Intn(3), rng.Intn(3)
+		row := []string{
+			fmt.Sprintf("a%d", a), fmt.Sprintf("b%d", b),
+			fmt.Sprintf("y%d", (a+2*b)%4),
+		}
+		input.AppendRow(row)
+		master.AppendRow(row)
+	}
+	return &core.Problem{
+		Input:            input,
+		Master:           master,
+		Match:            schema.AutoMatch(in, ms),
+		Y:                2,
+		Ym:               2,
+		SupportThreshold: 10,
+		TopK:             10,
+	}
+}
+
+func TestCTANEFindsPlantedFD(t *testing.T) {
+	p := fdProblem(t, 1)
+	res, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules discovered")
+	}
+	// The planted FD (A, B) → Y must appear (possibly as the top rule by
+	// master support).
+	found := false
+	for _, r := range res.Rules {
+		if r.Rule.HasLHSAttr(0) && r.Rule.HasLHSAttr(1) && len(r.Rule.Pattern) == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("planted FD (A,B) -> Y not discovered")
+	}
+}
+
+func TestCTANERulesConvertCleanly(t *testing.T) {
+	p := fdProblem(t, 2)
+	res, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rules {
+		if r.Rule.Y != p.Y || r.Rule.Ym != p.Ym {
+			t.Errorf("converted rule has wrong target: %d/%d", r.Rule.Y, r.Rule.Ym)
+		}
+		if len(r.Rule.LHS) == 0 {
+			t.Error("constant-only CFD converted to empty-LHS eR")
+		}
+		for _, pr := range r.Rule.LHS {
+			if pr.Input < 0 || pr.Input >= p.Input.Schema().Len() {
+				t.Errorf("bad input attr %d", pr.Input)
+			}
+		}
+	}
+}
+
+func TestCTANEResultNonRedundant(t *testing.T) {
+	p := fdProblem(t, 3)
+	res, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Rules {
+		for j, b := range res.Rules {
+			if i != j && rule.Dominates(a.Rule, b.Rule) {
+				t.Errorf("rule %d dominates rule %d", i, j)
+			}
+		}
+	}
+}
+
+// TestCTANEMinimality: once a variable-only CFD holds, its refinements
+// (larger LHS, added constants) must not be emitted.
+func TestCTANEMinimality(t *testing.T) {
+	// Y is constant: the single-attribute CFD A → Y holds immediately,
+	// so nothing deeper should be mined on A.
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	for i := 0; i < 100; i++ {
+		row := []string{fmt.Sprintf("a%d", i%3), fmt.Sprintf("b%d", i%4), "const"}
+		input.AppendRow(row)
+		master.AppendRow(row)
+	}
+	p := &core.Problem{
+		Input: input, Master: master,
+		Match: schema.AutoMatch(in, ms),
+		Y:     2, Ym: 2, SupportThreshold: 5, TopK: 50,
+	}
+	res, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rules {
+		if len(r.Rule.LHS)+len(r.Rule.Pattern) > 1 {
+			t.Errorf("non-minimal CFD emitted: %s", r.Rule.String(input, ms))
+		}
+	}
+}
+
+// TestCTANEConfidenceThreshold: with a noisy master, only a strict-enough
+// confidence threshold admits the dependency.
+func TestCTANEConfidenceThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	for i := 0; i < 300; i++ {
+		a := rng.Intn(2)
+		y := fmt.Sprintf("y%d", a)
+		if rng.Intn(10) == 0 { // 10% noise
+			y = fmt.Sprintf("y%d", 1-a)
+		}
+		row := []string{fmt.Sprintf("a%d", a), y}
+		input.AppendRow(row)
+		master.AppendRow(row)
+	}
+	p := &core.Problem{
+		Input: input, Master: master,
+		Match: schema.AutoMatch(in, ms),
+		Y:     1, Ym: 1, SupportThreshold: 10, TopK: 10,
+	}
+	strict, err := New(Config{MinConfidence: 0.99}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := New(Config{MinConfidence: 0.85}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasAtoY := func(rs *core.ResultSet) bool {
+		for _, r := range rs.Rules {
+			if len(r.Rule.LHS) == 1 && r.Rule.LHS[0].Input == 0 && len(r.Rule.Pattern) == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if hasAtoY(strict) {
+		t.Error("A -> Y admitted at 0.99 confidence despite 10% noise")
+	}
+	if !hasAtoY(loose) {
+		t.Error("A -> Y rejected at 0.85 confidence")
+	}
+}
+
+func TestCTANEMaxLevel(t *testing.T) {
+	p := fdProblem(t, 5)
+	res, err := New(Config{MaxLevel: 1}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rules {
+		if len(r.Rule.LHS)+len(r.Rule.Pattern) > 1 {
+			t.Errorf("rule exceeds MaxLevel 1")
+		}
+	}
+}
+
+func TestCTANEName(t *testing.T) {
+	if got := New(Config{}).Name(); got != "CTANE" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestCTANEInvalidProblem(t *testing.T) {
+	if _, err := New(Config{}).Mine(&core.Problem{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+	"erminer/internal/schema"
+)
+
+// tinyProblem builds a minimal problem:
+//
+//	input:  A (matched), B (continuous, matched), C (input-only), Y
+//	master: A, B, Y
+func tinyProblem(t testing.TB) *Problem {
+	t.Helper()
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b", Type: relation.Continuous},
+		relation.Attribute{Name: "C"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b", Type: relation.Continuous},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	for i := 0; i < 32; i++ {
+		a := fmt.Sprintf("a%d", i%4)
+		b := fmt.Sprintf("%d", i%8)
+		c := fmt.Sprintf("c%d", i%2)
+		y := fmt.Sprintf("y%d", i%4)
+		input.AppendRow([]string{a, b, c, y})
+		master.AppendRow([]string{a, b, y})
+	}
+	return &Problem{
+		Input:            input,
+		Master:           master,
+		Match:            schema.AutoMatch(in, ms),
+		Y:                3,
+		Ym:               2,
+		SupportThreshold: 2,
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := tinyProblem(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	bad := *p
+	bad.Input = nil
+	if bad.Validate() == nil {
+		t.Error("nil input accepted")
+	}
+	bad = *p
+	bad.Y = 99
+	if bad.Validate() == nil {
+		t.Error("out-of-range Y accepted")
+	}
+	bad = *p
+	bad.Truth = []int32{1}
+	if bad.Validate() == nil {
+		t.Error("short truth accepted")
+	}
+	bad = *p
+	bad.SupportThreshold = -1
+	if bad.Validate() == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestProblemK(t *testing.T) {
+	p := tinyProblem(t)
+	if p.K() != DefaultTopK {
+		t.Errorf("default K = %d, want %d", p.K(), DefaultTopK)
+	}
+	p.TopK = 7
+	if p.K() != 7 {
+		t.Errorf("K = %d, want 7", p.K())
+	}
+}
+
+func TestBuildSpaceLayout(t *testing.T) {
+	p := tinyProblem(t)
+	s := BuildSpace(p, SpaceConfig{NSplit: 2, MaxValueFrac: -1})
+
+	// LHS pairs: A and B are matched (Y excluded).
+	if s.NumLHS() != 2 {
+		t.Fatalf("NumLHS = %d, want 2", s.NumLHS())
+	}
+	for _, pr := range s.LHSPairs {
+		if pr.Input == p.Y || pr.Master == p.Ym {
+			t.Errorf("LHS pair %v touches the dependent attributes", pr)
+		}
+	}
+
+	// Pattern units: A has 4 values, B (continuous) has 2 ranges, C has
+	// 2 values. Y contributes nothing.
+	if got, want := len(s.Units), 4+2+2; got != want {
+		t.Fatalf("units = %d, want %d", got, want)
+	}
+	if s.Dim() != s.NumLHS()+len(s.Units) {
+		t.Error("Dim mismatch")
+	}
+
+	// Index lookups are consistent.
+	for a := 0; a < 3; a++ {
+		for _, d := range s.UnitDims(a) {
+			if s.Unit(d).Cond.Attr != a {
+				t.Errorf("UnitDims(%d) points at attr %d", a, s.Unit(d).Cond.Attr)
+			}
+		}
+		for _, d := range s.PairDims(a) {
+			if s.LHSPairs[d].Input != a {
+				t.Errorf("PairDims(%d) points at attr %d", a, s.LHSPairs[d].Input)
+			}
+		}
+	}
+}
+
+func TestContinuousRangesPartitionDomain(t *testing.T) {
+	p := tinyProblem(t)
+	s := BuildSpace(p, SpaceConfig{NSplit: 2, MaxValueFrac: -1})
+	var ranges []rule.Condition
+	for _, d := range s.UnitDims(1) {
+		ranges = append(ranges, s.Unit(d).Cond)
+	}
+	if len(ranges) != 2 {
+		t.Fatalf("B has %d ranges, want 2", len(ranges))
+	}
+	// Every domain code appears in exactly one range.
+	seen := make(map[int32]int)
+	for _, r := range ranges {
+		for _, c := range r.Codes {
+			seen[c]++
+		}
+	}
+	for _, c := range p.Input.DomainCodes(1) {
+		if seen[c] != 1 {
+			t.Errorf("code %d appears in %d ranges", c, seen[c])
+		}
+	}
+	// Labels describe numeric intervals.
+	for _, r := range ranges {
+		if r.Label == "" {
+			t.Error("continuous range without a label")
+		}
+	}
+}
+
+func TestPrefixBuckets(t *testing.T) {
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "big", Domain: "big"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "big", Domain: "big"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	// 100 distinct values sharing 10 one-letter prefixes.
+	for i := 0; i < 100; i++ {
+		v := fmt.Sprintf("%c%02d", 'a'+i%10, i)
+		input.AppendRow([]string{v, "y0"})
+		master.AppendRow([]string{v, "y0"})
+	}
+	p := &Problem{
+		Input: input, Master: master,
+		Match: schema.AutoMatch(in, ms),
+		Y:     1, Ym: 1, SupportThreshold: 1,
+	}
+	s := BuildSpace(p, SpaceConfig{MaxDomain: 16, MaxValueFrac: -1})
+	var units []rule.Condition
+	for _, d := range s.UnitDims(0) {
+		units = append(units, s.Unit(d).Cond)
+	}
+	if len(units) != 10 {
+		t.Fatalf("bucket count = %d, want 10 one-letter prefixes", len(units))
+	}
+	total := 0
+	for _, u := range units {
+		total += len(u.Codes)
+		if u.Label == "" {
+			t.Error("bucket without a label")
+		}
+	}
+	if total != 100 {
+		t.Errorf("buckets cover %d codes, want 100", total)
+	}
+}
+
+func TestMinValueCountPrunes(t *testing.T) {
+	p := tinyProblem(t)
+	// Every A value occurs 8 times, C values 16 times, B values 4 times.
+	s := BuildSpace(p, SpaceConfig{NSplit: 2, MinValueCount: 10, MaxValueFrac: -1})
+	for _, u := range s.Units {
+		n := 0
+		col := p.Input.Column(u.Cond.Attr)
+		for _, c := range col {
+			if u.Cond.Matches(c) {
+				n++
+			}
+		}
+		if n < 10 {
+			t.Errorf("unit on attr %d kept with count %d", u.Cond.Attr, n)
+		}
+	}
+}
+
+func TestMaxValueFracPrunes(t *testing.T) {
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	// 99 of 100 rows share one A value: that condition is vacuous.
+	for i := 0; i < 100; i++ {
+		v := "common"
+		if i == 0 {
+			v = "rare"
+		}
+		input.AppendRow([]string{v, "y"})
+		master.AppendRow([]string{v, "y"})
+	}
+	p := &Problem{
+		Input: input, Master: master,
+		Match: schema.AutoMatch(in, ms),
+		Y:     1, Ym: 1, SupportThreshold: 1,
+	}
+	s := BuildSpace(p, SpaceConfig{})
+	for _, u := range s.Units {
+		if len(u.Cond.Codes) == 1 && p.Input.Dict(0).Value(u.Cond.Codes[0]) == "common" {
+			t.Error("near-universal condition survived the default MaxValueFrac")
+		}
+	}
+}
+
+func TestDimIDsUniqueAndStable(t *testing.T) {
+	p := tinyProblem(t)
+	s1 := BuildSpace(p, SpaceConfig{NSplit: 2, MaxValueFrac: -1})
+	s2 := BuildSpace(p, SpaceConfig{NSplit: 2, MaxValueFrac: -1})
+	seen := make(map[string]bool)
+	for d := 0; d < s1.Dim(); d++ {
+		id := s1.DimID(d)
+		if seen[id] {
+			t.Errorf("duplicate DimID %q", id)
+		}
+		seen[id] = true
+		if id != s2.DimID(d) {
+			t.Errorf("DimID %d unstable: %q vs %q", d, id, s2.DimID(d))
+		}
+	}
+}
+
+func TestSelectTopKDropsNonPositive(t *testing.T) {
+	mk := func(a int, u float64) MinedRule {
+		return MinedRule{
+			Rule:     rule.New([]rule.AttrPair{{Input: a, Master: a}}, 9, 9, nil),
+			Measures: measure.Measures{Utility: u},
+		}
+	}
+	got := SelectTopK([]MinedRule{mk(0, 5), mk(1, 0), mk(2, -3)}, 10)
+	if len(got) != 1 {
+		t.Fatalf("selected %d rules, want 1", len(got))
+	}
+	if got[0].Measures.Utility != 5 {
+		t.Errorf("selected utility %g", got[0].Measures.Utility)
+	}
+}
+
+func TestResultSetRuleList(t *testing.T) {
+	r := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 1, 1, nil)
+	rs := &ResultSet{Rules: []MinedRule{{Rule: r}}}
+	list := rs.RuleList()
+	if len(list) != 1 || list[0] != r {
+		t.Errorf("RuleList = %v", list)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+// TestNSplitSweep: more ranges on a continuous attribute widen the
+// pattern encoding monotonically (DESIGN.md decision 6), and every range
+// stays a valid partition piece.
+func TestNSplitSweep(t *testing.T) {
+	p := tinyProblem(t)
+	prev := 0
+	for _, nsplit := range []int{1, 2, 4, 8} {
+		s := BuildSpace(p, SpaceConfig{NSplit: nsplit, MaxValueFrac: -1})
+		units := s.UnitDims(1) // B is the continuous attribute
+		if len(units) < prev {
+			t.Errorf("NSplit %d produced fewer units (%d) than a smaller split (%d)",
+				nsplit, len(units), prev)
+		}
+		prev = len(units)
+		// The ranges partition the active domain.
+		seen := make(map[int32]int)
+		for _, d := range units {
+			for _, c := range s.Unit(d).Cond.Codes {
+				seen[c]++
+			}
+		}
+		for _, c := range p.Input.DomainCodes(1) {
+			if seen[c] != 1 {
+				t.Errorf("NSplit %d: code %d in %d ranges", nsplit, c, seen[c])
+			}
+		}
+	}
+	// NSplit beyond the domain size clamps to one range per value.
+	s := BuildSpace(p, SpaceConfig{NSplit: 1000, MaxValueFrac: -1})
+	if got := len(s.UnitDims(1)); got != p.Input.DomainSize(1) {
+		t.Errorf("oversized NSplit produced %d ranges for %d values",
+			got, p.Input.DomainSize(1))
+	}
+}
+
+// TestNegatedUnits: the ā extension doubles the discrete pattern units.
+func TestNegatedUnits(t *testing.T) {
+	p := tinyProblem(t)
+	plain := BuildSpace(p, SpaceConfig{NSplit: 2, MaxValueFrac: -1})
+	neg := BuildSpace(p, SpaceConfig{NSplit: 2, MaxValueFrac: -1, NegatedUnits: true})
+	if len(neg.Units) <= len(plain.Units) {
+		t.Fatalf("negated units did not expand the space: %d vs %d",
+			len(neg.Units), len(plain.Units))
+	}
+	// Negated units exist for discrete attributes only and have
+	// distinct DimIDs from their positive twins.
+	ids := make(map[string]bool)
+	negCount := 0
+	for d := 0; d < neg.Dim(); d++ {
+		id := neg.DimID(d)
+		if ids[id] {
+			t.Fatalf("duplicate DimID %q", id)
+		}
+		ids[id] = true
+		if d >= neg.NumLHS() && neg.Unit(d).Cond.Negate {
+			negCount++
+			if p.Input.Schema().Attr(neg.Unit(d).Cond.Attr).Name == "B" {
+				t.Error("continuous attribute got a negated unit")
+			}
+		}
+	}
+	if negCount == 0 {
+		t.Error("no negated units emitted")
+	}
+}

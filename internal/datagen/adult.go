@@ -1,0 +1,181 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"erminer/internal/relation"
+)
+
+// Adult-like world (paper Table I: input 10 attributes × 40,000 tuples,
+// master 9 × 5,000; Y = Income; η_s = 1000).
+//
+// Dependency structure:
+//   - Education → EducationNum is an exact FD (as in the real UCI data).
+//   - Income is determined by (Occupation, EducationNum) for the
+//     mainstream population, with two divergent sub-populations that make
+//     input-side conditions worthwhile:
+//       * Relationship = "Other-relative" entities (input-only attribute,
+//         excluded from master data) have half their incomes flipped;
+//       * Age < 25 entities always earn "<=50K" regardless of occupation
+//         (they are in the master data, so rules restricted to adult age
+//         ranges via continuous-range pattern conditions gain Quality).
+var (
+	adultWorkclass = []string{
+		"Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov",
+		"Local-gov", "State-gov", "Without-pay",
+	}
+	adultEducation = []string{
+		"Preschool", "1st-4th", "5th-6th", "7th-8th", "9th", "10th",
+		"11th", "12th", "HS-grad", "Some-college", "Assoc-voc",
+		"Assoc-acdm", "Bachelors", "Masters", "Prof-school", "Doctorate",
+	}
+	adultMarital = []string{
+		"Married-civ-spouse", "Never-married", "Divorced", "Separated",
+		"Widowed", "Married-spouse-absent", "Married-AF-spouse",
+	}
+	adultOccupation = []string{
+		"Exec-managerial", "Prof-specialty", "Tech-support", "Sales",
+		"Craft-repair", "Adm-clerical", "Machine-op-inspct",
+		"Other-service", "Transport-moving", "Handlers-cleaners",
+		"Farming-fishing", "Protective-serv", "Priv-house-serv",
+		"Armed-Forces",
+	}
+	adultRelationship = []string{
+		"Husband", "Wife", "Own-child", "Not-in-family", "Unmarried",
+		"Other-relative",
+	}
+	adultRace = []string{"White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"}
+	adultSex  = []string{"Male", "Female"}
+
+	// adultOccRank scores occupations by pay; the list above is ordered
+	// from highest to lowest pay, and pickZipf makes the high-pay end
+	// the most frequent (executives dominate the sample as "Private"
+	// dominates the real data's workclass).
+	adultOccRank = func() map[string]int {
+		m := make(map[string]int, len(adultOccupation))
+		for i, o := range adultOccupation {
+			m[o] = len(adultOccupation) - 1 - i
+		}
+		return m
+	}()
+)
+
+// adultIncome computes the mainstream income of an entity from a joint
+// score of occupation rank, education and age band. No single attribute
+// (nor most pairs) determines income cleanly — exactly like the real
+// Adult data — so discovering accurate rules requires multi-attribute
+// LHS sets and age-range pattern conditions, and the CFD baseline cannot
+// get away with broad variable-only dependencies.
+func adultIncome(occupation string, eduNum, age int) string {
+	score := adultOccRank[occupation] + 2*eduNum
+	switch {
+	case age < 30:
+		// Early-career: below the threshold regardless of occupation
+		// (max score 13 + 32 - 20 = 25 < 30).
+		score -= 20
+	case age >= 60:
+		score -= 6
+	}
+	if score >= 30 {
+		return ">50K"
+	}
+	return "<=50K"
+}
+
+func flipIncome(v string) string {
+	if v == ">50K" {
+		return "<=50K"
+	}
+	return ">50K"
+}
+
+// Adult returns the Adult-like world.
+func Adult() *World {
+	inputSchema := relation.NewSchema(
+		relation.Attribute{Name: "age", Type: relation.Continuous},
+		relation.Attribute{Name: "workclass"},
+		relation.Attribute{Name: "education"},
+		relation.Attribute{Name: "education_num"},
+		relation.Attribute{Name: "marital_status"},
+		relation.Attribute{Name: "occupation"},
+		relation.Attribute{Name: "relationship"}, // input-only
+		relation.Attribute{Name: "race"},
+		relation.Attribute{Name: "sex"},
+		relation.Attribute{Name: "income"},
+	)
+	masterSchema := relation.NewSchema(
+		relation.Attribute{Name: "age", Type: relation.Continuous},
+		relation.Attribute{Name: "workclass"},
+		relation.Attribute{Name: "education"},
+		relation.Attribute{Name: "education_num"},
+		relation.Attribute{Name: "marital_status"},
+		relation.Attribute{Name: "occupation"},
+		relation.Attribute{Name: "race"},
+		relation.Attribute{Name: "sex"},
+		relation.Attribute{Name: "income"},
+	)
+
+	gen := func(rng *rand.Rand) Entity {
+		eduIdx := rng.Intn(len(adultEducation))
+		eduNum := eduIdx + 1 // Education → EducationNum FD
+		occupation := pickZipf(rng, adultOccupation)
+		relationship := pickZipf(rng, adultRelationship)
+		age := 17 + rng.Intn(74)
+
+		income := adultIncome(occupation, eduNum, age)
+		if relationship == "Other-relative" && rng.Intn(2) == 0 {
+			income = flipIncome(income)
+		}
+		if rng.Float64() < 0.05 {
+			// Idiosyncratic world noise: income is never a clean
+			// function of the other attributes, as in the real data.
+			income = flipIncome(income)
+		}
+		return Entity{
+			"age":            fmt.Sprintf("%d", age),
+			"workclass":      pickZipf(rng, adultWorkclass),
+			"education":      adultEducation[eduIdx],
+			"education_num":  fmt.Sprintf("%d", eduNum),
+			"marital_status": pickZipf(rng, adultMarital),
+			"occupation":     occupation,
+			"relationship":   relationship,
+			"race":           pickZipf(rng, adultRace),
+			"sex":            pick(rng, adultSex),
+			"income":         income,
+		}
+	}
+
+	return &World{
+		Name:            "adult",
+		InputSchema:     inputSchema,
+		MasterSchema:    masterSchema,
+		YName:           "income",
+		YmName:          "income",
+		DefaultSupport:  1000,
+		PaperInputSize:  40000,
+		PaperMasterSize: 5000,
+		WorldSize:       48842,
+		Gen:             gen,
+		InMaster: func(e Entity) bool {
+			// Master data (curated records) exclude the divergent
+			// "Other-relative" sub-population, mirroring how the
+			// paper's national records exclude overseas infections.
+			return e["relationship"] != "Other-relative"
+		},
+		RenderInput: func(e Entity) []string {
+			return []string{
+				e["age"], e["workclass"], e["education"], e["education_num"],
+				e["marital_status"], e["occupation"], e["relationship"],
+				e["race"], e["sex"], e["income"],
+			}
+		},
+		RenderMaster: func(e Entity) []string {
+			return []string{
+				e["age"], e["workclass"], e["education"], e["education_num"],
+				e["marital_status"], e["occupation"], e["race"], e["sex"],
+				e["income"],
+			}
+		},
+	}
+}

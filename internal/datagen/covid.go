@@ -1,0 +1,140 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"erminer/internal/relation"
+)
+
+// Covid-like world (paper Table I: input 7 × 2,500, master 8 × 1,824;
+// Y = infection_case; η_s = 100).
+//
+// Dependency structure mirrors the paper's running example (Figure 1):
+// the infection case of a non-overseas patient is determined by
+// (city, confirmed_date), while overseas patients (t[overseas] = "Yes")
+// have their own inflow cases and are absent from the master data (the
+// national records). The useful rules therefore carry the input-side
+// condition t_p[overseas] = "No", which is exactly the paper's φ₀.
+var (
+	covidCities = []string{
+		"Seoul", "Busan", "Daegu", "Incheon", "Gwangju", "Daejeon",
+		"Ulsan", "Sejong", "Suwon", "Changwon", "Goyang", "Yongin",
+	}
+	covidDates = []string{
+		"2021-05", "2021-06", "2021-07", "2021-08", "2021-09",
+		"2021-10", "2021-11", "2021-12",
+	}
+	covidAges = []string{"0s", "10s", "20s", "30s", "40s", "50s", "60s", "70s", "80s"}
+	covidCases = []string{
+		"contact with patient", "contact with imports", "gym facility",
+		"church gathering", "hospital outbreak", "nursing home",
+		"call center", "community infection",
+	}
+	covidOverseasCases = []string{"overseas inflow", "airport screening"}
+	covidStates        = []string{"released", "isolated", "deceased"}
+	covidProvinces = []string{
+		"Gyeonggi-do", "Gangwon-do", "Chungcheongbuk-do",
+		"Chungcheongnam-do", "Jeollabuk-do", "Jeollanam-do",
+		"Gyeongsangbuk-do", "Gyeongsangnam-do", "Jeju-do", "Capital-area",
+	}
+	covidHospitals = []string{
+		"H01", "H02", "H03", "H04", "H05", "H06", "H07", "H08",
+		"H09", "H10", "H11", "H12", "H13", "H14", "H15",
+	}
+)
+
+// covidCase deterministically assigns the outbreak case of a
+// (city, month) cell, playing the role of the real epidemic structure.
+func covidCase(city, date string) string {
+	h := 0
+	for _, c := range city + "|" + date {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return covidCases[h%len(covidCases)]
+}
+
+// Covid returns the Covid-like world.
+func Covid() *World {
+	inputSchema := relation.NewSchema(
+		relation.Attribute{Name: "city"},
+		relation.Attribute{Name: "sex"},
+		relation.Attribute{Name: "age_group"},
+		relation.Attribute{Name: "confirmed_date"},
+		relation.Attribute{Name: "state"},    // input-only
+		relation.Attribute{Name: "overseas"}, // input-only
+		relation.Attribute{Name: "infection_case"},
+	)
+	masterSchema := relation.NewSchema(
+		relation.Attribute{Name: "city"},
+		relation.Attribute{Name: "sex"},
+		relation.Attribute{Name: "age_group"},
+		relation.Attribute{Name: "confirmed_date"},
+		relation.Attribute{Name: "infection_case"},
+		relation.Attribute{Name: "province"},
+		relation.Attribute{Name: "hospital"},
+		relation.Attribute{Name: "released_date"},
+	)
+
+	gen := func(rng *rand.Rand) Entity {
+		city := pickZipf(rng, covidCities)
+		date := pick(rng, covidDates)
+		overseas := "No"
+		var infCase string
+		if rng.Float64() < 0.15 {
+			overseas = "Yes"
+			infCase = pick(rng, covidOverseasCases)
+		} else {
+			infCase = covidCase(city, date)
+			if rng.Float64() < 0.05 {
+				// Sporadic unrelated infections keep certainty < 1.
+				infCase = pick(rng, covidCases)
+			}
+		}
+		return Entity{
+			"city":           city,
+			"sex":            pick(rng, []string{"male", "female"}),
+			"age_group":      pickZipf(rng, covidAges),
+			"confirmed_date": date,
+			"state":          pickZipf(rng, covidStates),
+			"overseas":       overseas,
+			"infection_case": infCase,
+			"province":       pickZipf(rng, covidProvinces),
+			"hospital":       pick(rng, covidHospitals),
+			"released_date":  pick(rng, covidDates),
+		}
+	}
+
+	return &World{
+		Name:            "covid",
+		InputSchema:     inputSchema,
+		MasterSchema:    masterSchema,
+		YName:           "infection_case",
+		YmName:          "infection_case",
+		DefaultSupport:  100,
+		PaperInputSize:  2500,
+		PaperMasterSize: 1824,
+		WorldSize:       6000,
+		Gen:             gen,
+		InMaster: func(e Entity) bool {
+			// National records track only domestic, released cases
+			// (§V-A1 keeps master tuples whose state is "released").
+			return e["overseas"] == "No" && e["state"] == "released"
+		},
+		RenderInput: func(e Entity) []string {
+			return []string{
+				e["city"], e["sex"], e["age_group"], e["confirmed_date"],
+				e["state"], e["overseas"], e["infection_case"],
+			}
+		},
+		RenderMaster: func(e Entity) []string {
+			return []string{
+				e["city"], e["sex"], e["age_group"], e["confirmed_date"],
+				e["infection_case"], e["province"], e["hospital"],
+				e["released_date"],
+			}
+		},
+	}
+}

@@ -1,0 +1,440 @@
+package datagen
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"erminer/internal/relation"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range AllNames() {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if w.Name != name {
+			t.Errorf("world name = %q, want %q", w.Name, name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// TestTableISchemaWidths checks each world's schema widths against the
+// paper's Table I.
+func TestTableISchemaWidths(t *testing.T) {
+	want := map[string][2]int{
+		"adult":    {10, 9},
+		"covid":    {7, 8},
+		"nursery":  {9, 9},
+		"location": {9, 5},
+	}
+	for name, w := range want {
+		world, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := world.InputSchema.Len(); got != w[0] {
+			t.Errorf("%s input width = %d, want %d", name, got, w[0])
+		}
+		if got := world.MasterSchema.Len(); got != w[1] {
+			t.Errorf("%s master width = %d, want %d", name, got, w[1])
+		}
+	}
+}
+
+// TestTableIPaperSizes checks the paper-default tuple counts.
+func TestTableIPaperSizes(t *testing.T) {
+	want := map[string][2]int{
+		"adult":    {40000, 5000},
+		"covid":    {2500, 1824},
+		"nursery":  {10000, 2980},
+		"location": {2559, 3430},
+	}
+	for name, w := range want {
+		world, _ := ByName(name)
+		if world.PaperInputSize != w[0] || world.PaperMasterSize != w[1] {
+			t.Errorf("%s paper sizes = %d/%d, want %d/%d",
+				name, world.PaperInputSize, world.PaperMasterSize, w[0], w[1])
+		}
+	}
+}
+
+func TestBuildSizesAndMatch(t *testing.T) {
+	for _, name := range AllNames() {
+		w, _ := ByName(name)
+		ds, err := w.Build(DefaultSpec(500, 300, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Input.NumRows() != 500 {
+			t.Errorf("%s input rows = %d", name, ds.Input.NumRows())
+		}
+		if ds.Master.NumRows() > 300 || ds.Master.NumRows() == 0 {
+			t.Errorf("%s master rows = %d", name, ds.Master.NumRows())
+		}
+		// The dependent pair must be matched and indices valid.
+		if ds.Y < 0 || ds.Ym < 0 {
+			t.Fatalf("%s: bad Y/Ym", name)
+		}
+		found := false
+		for _, ym := range ds.Match.Of(ds.Y) {
+			if ym == ds.Ym {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: (Y, Ym) not in match", name)
+		}
+		if ds.SupportThreshold <= 0 {
+			t.Errorf("%s: support threshold %d", name, ds.SupportThreshold)
+		}
+		// Matched attributes must share dictionaries so codes compare.
+		for _, pr := range ds.Match.Pairs() {
+			if ds.Input.Dict(pr[0]) != ds.Master.Dict(pr[1]) {
+				t.Errorf("%s: matched pair %v does not share a dictionary", name, pr)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	w := Covid()
+	a, err := w.Build(DefaultSpec(200, 100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Build(DefaultSpec(200, 100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < a.Input.NumRows(); row++ {
+		for col := 0; col < a.Input.NumCols(); col++ {
+			if a.Input.Value(row, col) != b.Input.Value(row, col) {
+				t.Fatalf("same seed produced different data at (%d,%d)", row, col)
+			}
+		}
+	}
+}
+
+// TestAdultEducationFD: Education → EducationNum holds exactly, as in
+// the real UCI data.
+func TestAdultEducationFD(t *testing.T) {
+	ds, err := Adult().Build(DefaultSpec(2000, 500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edu := ds.Input.Schema().MustIndex("education")
+	num := ds.Input.Schema().MustIndex("education_num")
+	seen := make(map[int32]int32)
+	for row := 0; row < ds.Input.NumRows(); row++ {
+		e, n := ds.Input.Code(row, edu), ds.Input.Code(row, num)
+		if prev, ok := seen[e]; ok && prev != n {
+			t.Fatalf("education FD violated at row %d", row)
+		}
+		seen[e] = n
+	}
+	if len(seen) < 10 {
+		t.Errorf("education domain too small: %d", len(seen))
+	}
+}
+
+// TestAdultMasterExcludesDivergent: the divergent sub-population
+// (relationship = Other-relative) must be absent from master data.
+func TestAdultMasterExcludesDivergent(t *testing.T) {
+	w := Adult()
+	for i := 0; i < 2000; i++ {
+		e := w.Gen(newTestRng(int64(i)))
+		if e["relationship"] == "Other-relative" && w.InMaster(e) {
+			t.Fatal("Other-relative entity admitted to master")
+		}
+	}
+}
+
+// TestCovidOverseasExcluded: national records contain only domestic
+// released cases.
+func TestCovidOverseasExcluded(t *testing.T) {
+	ds, err := Covid().Build(DefaultSpec(500, 400, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Master schema has no overseas column; instead check that no master
+	// infection_case is an overseas inflow case.
+	ymCol := ds.Master.Schema().MustIndex("infection_case")
+	for row := 0; row < ds.Master.NumRows(); row++ {
+		v := ds.Master.Value(row, ymCol)
+		for _, bad := range covidOverseasCases {
+			if v == bad {
+				t.Fatalf("master row %d has overseas case %q", row, v)
+			}
+		}
+	}
+	// The input data must contain overseas rows (the divergent ones).
+	ov := ds.Input.Schema().MustIndex("overseas")
+	yes := 0
+	for row := 0; row < ds.Input.NumRows(); row++ {
+		if ds.Input.Value(row, ov) == "Yes" {
+			yes++
+		}
+	}
+	if yes == 0 {
+		t.Error("input has no overseas tuples")
+	}
+}
+
+// TestCovidCaseDeterminism: the epidemic structure c(city, date) is a
+// fixed function.
+func TestCovidCaseDeterminism(t *testing.T) {
+	if covidCase("Seoul", "2021-12") != covidCase("Seoul", "2021-12") {
+		t.Error("covidCase not deterministic")
+	}
+	distinct := make(map[string]bool)
+	for _, c := range covidCities {
+		for _, d := range covidDates {
+			distinct[covidCase(c, d)] = true
+		}
+	}
+	if len(distinct) < 4 {
+		t.Errorf("case assignment uses only %d distinct cases", len(distinct))
+	}
+}
+
+// TestLocationMasterFD: in the postcode directory, (County, AreaCode)
+// determines Postcode — the paper's φ₂ — while County alone does not.
+func TestLocationMasterFD(t *testing.T) {
+	ds, err := Location().Build(DefaultSpec(500, 3430, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := ds.Master.Schema()
+	county := ms.MustIndex("county")
+	area := ms.MustIndex("area_code")
+	post := ms.MustIndex("postcode")
+
+	joint := make(map[[2]int32]int32)
+	single := make(map[int32]map[int32]bool)
+	for row := 0; row < ds.Master.NumRows(); row++ {
+		c, a, p := ds.Master.Code(row, county), ds.Master.Code(row, area), ds.Master.Code(row, post)
+		k := [2]int32{c, a}
+		if prev, ok := joint[k]; ok && prev != p {
+			t.Fatalf("(county, area_code) -> postcode FD violated")
+		}
+		joint[k] = p
+		if single[c] == nil {
+			single[c] = make(map[int32]bool)
+		}
+		single[c][p] = true
+	}
+	reused := 0
+	for _, ps := range single {
+		if len(ps) > 1 {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Error("county names are never reused: County alone determines Postcode, φ₂ would be trivial")
+	}
+}
+
+// TestLocationDirectoryStable: the directory does not depend on the
+// experiment seed.
+func TestLocationDirectoryStable(t *testing.T) {
+	a := buildLocationDirectory()
+	b := buildLocationDirectory()
+	if len(a.combos) != len(b.combos) || len(a.combos) != 3430 {
+		t.Fatalf("directory sizes = %d, %d, want 3430", len(a.combos), len(b.combos))
+	}
+	for i := range a.combos {
+		if a.combos[i] != b.combos[i] {
+			t.Fatal("directory not deterministic")
+		}
+	}
+}
+
+// TestNurseryFinanceDependency: finance follows (parents, housing) for
+// the mainstream population.
+func TestNurseryFinanceDependency(t *testing.T) {
+	w := Nursery()
+	agree := 0
+	total := 0
+	for i := 0; i < 1000; i++ {
+		e := w.Gen(newTestRng(int64(1000 + i)))
+		if e["health"] == "not_recom" {
+			continue
+		}
+		total++
+		if e["finance"] == nurseryFinanceOf(e["parents"], e["housing"]) {
+			agree++
+		}
+	}
+	if total == 0 || float64(agree)/float64(total) < 0.9 {
+		t.Errorf("finance dependency holds for %d/%d mainstream entities", agree, total)
+	}
+}
+
+// TestDuplicateRateControlsOverlap: with d = 1 the input is drawn from
+// master entities; with d = 0 overlap is only incidental.
+func TestDuplicateRateControlsOverlap(t *testing.T) {
+	w := Nursery()
+	overlapAt := func(d float64) float64 {
+		spec := Spec{InputSize: 500, MasterSize: 300, DuplicateRate: d, Seed: 11}
+		ds, err := w.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count input rows whose full tuple appears in master.
+		masterSet := make(map[string]bool)
+		for row := 0; row < ds.Master.NumRows(); row++ {
+			masterSet[rowKey(ds.Master, row)] = true
+		}
+		hits := 0
+		for row := 0; row < ds.Input.NumRows(); row++ {
+			if masterSet[rowKey(ds.Input, row)] {
+				hits++
+			}
+		}
+		return float64(hits) / float64(ds.Input.NumRows())
+	}
+	hi, lo := overlapAt(1.0), overlapAt(0.0)
+	if hi <= lo {
+		t.Errorf("duplicate rate has no effect: overlap(1.0)=%.2f overlap(0.0)=%.2f", hi, lo)
+	}
+	if hi < 0.9 {
+		t.Errorf("overlap at d=1.0 is only %.2f", hi)
+	}
+}
+
+func rowKey(r *relation.Relation, row int) string {
+	key := ""
+	for c := 0; c < r.NumCols(); c++ {
+		key += r.Value(row, c) + "\x00"
+	}
+	return key
+}
+
+func TestPickZipfSkew(t *testing.T) {
+	rng := newTestRng(13)
+	vals := []string{"a", "b", "c", "d", "e"}
+	counts := make(map[string]int)
+	for i := 0; i < 10000; i++ {
+		counts[pickZipf(rng, vals)]++
+	}
+	if counts["a"] <= counts["e"] {
+		t.Errorf("zipf not skewed: a=%d e=%d", counts["a"], counts["e"])
+	}
+	total := 0
+	for _, v := range vals {
+		total += counts[v]
+	}
+	if total != 10000 {
+		t.Errorf("counts sum to %d", total)
+	}
+}
+
+func TestEtaScaling(t *testing.T) {
+	w := Adult()
+	ds, err := w.Build(DefaultSpec(4000, 500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// η_s scales with input size: 1000 * 4000/40000 = 100.
+	if ds.SupportThreshold != 100 {
+		t.Errorf("scaled η_s = %d, want 100", ds.SupportThreshold)
+	}
+	ds2, err := w.Build(DefaultSpec(40000, 500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.SupportThreshold != 1000 {
+		t.Errorf("paper-size η_s = %d, want 1000", ds2.SupportThreshold)
+	}
+}
+
+func TestAdultIncomeBands(t *testing.T) {
+	// Young entities always earn <=50K.
+	if adultIncome("Exec-managerial", 16, 22) != "<=50K" {
+		t.Error("young high-flyer should earn <=50K")
+	}
+	// Mid-band executives with top education earn >50K.
+	if adultIncome("Exec-managerial", 16, 40) != ">50K" {
+		t.Error("mid-band executive with doctorate should earn >50K")
+	}
+	// Low education never earns >50K in any band.
+	for _, age := range []int{20, 40, 70} {
+		if adultIncome("Exec-managerial", 1, age) != "<=50K" {
+			t.Errorf("low education at age %d should earn <=50K", age)
+		}
+	}
+	_ = strconv.Itoa(0)
+}
+
+func newTestRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func TestSynthWorldStructure(t *testing.T) {
+	w := Synth(SynthSpec{NumAttrs: 5, DomainSize: 12})
+	ds, err := w.Build(DefaultSpec(800, 400, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema: 5 evidence attrs + guard + Y on the input side.
+	if got := ds.Input.Schema().Len(); got != 7 {
+		t.Errorf("input width = %d, want 7", got)
+	}
+	if got := ds.Master.Schema().Len(); got != 6 {
+		t.Errorf("master width = %d, want 6", got)
+	}
+	// All evidence attributes matched, guard unmatched.
+	if ds.Match.Size() != 6 { // 5 evidence + y
+		t.Errorf("|M| = %d, want 6", ds.Match.Size())
+	}
+	g := ds.Input.Schema().MustIndex("g")
+	if ds.Match.Matched(g) {
+		t.Error("guard attribute matched")
+	}
+	// Domain sizes are as requested (up to sampling).
+	a0 := ds.Input.Schema().MustIndex("a0")
+	if got := ds.Input.DomainSize(a0); got > 12 {
+		t.Errorf("a0 domain = %d, want <= 12", got)
+	}
+	// The planted rule holds on master: (a0, a1) determines y up to the
+	// world noise.
+	counts := make(map[[2]int32]map[int32]int)
+	a1 := ds.Master.Schema().MustIndex("a1")
+	y := ds.Master.Schema().MustIndex("y")
+	for row := 0; row < ds.Master.NumRows(); row++ {
+		k := [2]int32{ds.Master.Code(row, 0), ds.Master.Code(row, a1)}
+		if counts[k] == nil {
+			counts[k] = make(map[int32]int)
+		}
+		counts[k][ds.Master.Code(row, y)]++
+	}
+	pure, total := 0, 0
+	for _, hist := range counts {
+		max, sum := 0, 0
+		for _, n := range hist {
+			sum += n
+			if n > max {
+				max = n
+			}
+		}
+		pure += max
+		total += sum
+	}
+	if float64(pure)/float64(total) < 0.85 {
+		t.Errorf("planted rule purity = %.2f on master", float64(pure)/float64(total))
+	}
+}
+
+func TestSynthPanicsOnTooFewAttrs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	Synth(SynthSpec{NumAttrs: 1, DomainSize: 5})
+}

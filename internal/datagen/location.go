@@ -1,0 +1,160 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"erminer/internal/relation"
+)
+
+// Location-like world (paper Table I: input 9 × 2,559 coffee shops,
+// master 5 × 3,430 counties; Y = Postcode; η_s = 100).
+//
+// The master data plays the role of the government postcode directory:
+// one row per (City, County) pair carrying Province, AreaCode and
+// Postcode. County names are deliberately reused across cities (as real
+// district names are), so Postcode is determined by (County, AreaCode)
+// or (City, County) jointly but NOT by County alone — which is exactly
+// the paper's discovered rule φ₂ = ((area_code, County) → Postcode).
+//
+// The input relation describes shops with several large-domain attributes
+// (name, street, phone) that stress the domain-compression encoding of
+// §IV-A. A small fraction of shops sit in new districts absent from the
+// directory and cannot be fixed from master data.
+type locationDirectory struct {
+	provinces []string
+	cities    []string
+	cityProv  map[string]string
+	cityArea  map[string]string
+	// combos lists every (city, county) pair with its postcode.
+	combos []locationCombo
+}
+
+type locationCombo struct {
+	province, city, county, areaCode, postcode string
+}
+
+func buildLocationDirectory() *locationDirectory {
+	// The directory is fixed structure (like the real government table),
+	// independent of the experiment seed.
+	rng := rand.New(rand.NewSource(424242))
+	d := &locationDirectory{
+		cityProv: make(map[string]string),
+		cityArea: make(map[string]string),
+	}
+	for i := 0; i < 30; i++ {
+		d.provinces = append(d.provinces, fmt.Sprintf("Province-%02d", i))
+	}
+	countyNames := make([]string, 400)
+	for i := range countyNames {
+		countyNames[i] = fmt.Sprintf("District-%03d", i)
+	}
+	postcode := 100000
+	for i := 0; i < 350; i++ {
+		city := fmt.Sprintf("City-%03d", i)
+		d.cities = append(d.cities, city)
+		d.cityProv[city] = d.provinces[i%len(d.provinces)]
+		d.cityArea[city] = fmt.Sprintf("0%03d", 100+i)
+		nCounties := 8 + rng.Intn(5)
+		perm := rng.Perm(len(countyNames))
+		for j := 0; j < nCounties && len(d.combos) < 3430; j++ {
+			postcode += 7 + rng.Intn(23)
+			d.combos = append(d.combos, locationCombo{
+				province: d.cityProv[city],
+				city:     city,
+				county:   countyNames[perm[j]],
+				areaCode: d.cityArea[city],
+				postcode: fmt.Sprintf("%06d", postcode),
+			})
+		}
+	}
+	return d
+}
+
+var locationBrands = []string{"Starbeans", "Brewster", "Kaffa Reserve"}
+
+// Location returns the Location-like world.
+func Location() *World {
+	dir := buildLocationDirectory()
+
+	inputSchema := relation.NewSchema(
+		relation.Attribute{Name: "name"},
+		relation.Attribute{Name: "brand"},
+		relation.Attribute{Name: "city", Domain: "city"},
+		relation.Attribute{Name: "county", Domain: "county"},
+		relation.Attribute{Name: "area_code", Domain: "area_code"},
+		relation.Attribute{Name: "postcode", Domain: "postcode"},
+		relation.Attribute{Name: "street"},
+		relation.Attribute{Name: "phone"},
+		relation.Attribute{Name: "ownership"},
+	)
+	masterSchema := relation.NewSchema(
+		relation.Attribute{Name: "province"},
+		relation.Attribute{Name: "city", Domain: "city"},
+		relation.Attribute{Name: "county", Domain: "county"},
+		relation.Attribute{Name: "area_code", Domain: "area_code"},
+		relation.Attribute{Name: "postcode", Domain: "postcode"},
+	)
+
+	gen := func(rng *rand.Rand) Entity {
+		var combo locationCombo
+		if rng.Float64() < 0.02 {
+			// A shop in a new district that the directory has not
+			// registered yet: its county joins nothing in master data.
+			city := dir.cities[rng.Intn(len(dir.cities))]
+			combo = locationCombo{
+				province: dir.cityProv[city],
+				city:     city,
+				county:   fmt.Sprintf("NewDistrict-%03d", rng.Intn(40)),
+				areaCode: dir.cityArea[city],
+				postcode: fmt.Sprintf("%06d", 900000+rng.Intn(999)),
+			}
+		} else {
+			combo = dir.combos[rng.Intn(len(dir.combos))]
+		}
+		brand := pickZipf(rng, locationBrands)
+		return Entity{
+			"name":      fmt.Sprintf("%s #%04d", brand, rng.Intn(4000)),
+			"brand":     brand,
+			"city":      combo.city,
+			"county":    combo.county,
+			"area_code": combo.areaCode,
+			"postcode":  combo.postcode,
+			"street":    fmt.Sprintf("%d %s Rd", 1+rng.Intn(999), combo.county),
+			"phone":     fmt.Sprintf("%s-%07d", combo.areaCode, rng.Intn(10000000)),
+			"ownership": pick(rng, []string{"company", "licensed"}),
+		}
+	}
+
+	return &World{
+		Name:            "location",
+		InputSchema:     inputSchema,
+		MasterSchema:    masterSchema,
+		YName:           "postcode",
+		YmName:          "postcode",
+		DefaultSupport:  100,
+		PaperInputSize:  2559,
+		PaperMasterSize: 3430,
+		WorldSize:       8000,
+		Gen:             gen,
+		MasterRows: func(rng *rand.Rand, n int) [][]string {
+			perm := rng.Perm(len(dir.combos))
+			if n > len(dir.combos) {
+				n = len(dir.combos)
+			}
+			rows := make([][]string, n)
+			for i := 0; i < n; i++ {
+				c := dir.combos[perm[i]]
+				rows[i] = []string{c.province, c.city, c.county, c.areaCode, c.postcode}
+			}
+			return rows
+		},
+		RenderInput: func(e Entity) []string {
+			return []string{
+				e["name"], e["brand"], e["city"], e["county"],
+				e["area_code"], e["postcode"], e["street"], e["phone"],
+				e["ownership"],
+			}
+		},
+	}
+}

@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"erminer/internal/relation"
+)
+
+// Nursery-like world (paper Table I: input 9 × 10,000, master 9 × 2,980;
+// Y = finance; η_s = 1000). All nine attributes are matched — the real
+// Nursery data is a full-factorial categorical design, which is why the
+// paper observes very deep EnuMiner rules on it (small domains make high
+// support easy, Table II discussion).
+//
+// Dependency structure: finance is determined by (parents, housing), with
+// a divergent sub-population keyed by health = "not_recom" whose finance
+// is arbitrary and which the master data exclude.
+var (
+	nurseryParents  = []string{"usual", "pretentious", "great_pret"}
+	nurseryHasNurs  = []string{"proper", "less_proper", "improper", "critical", "very_crit"}
+	nurseryForm     = []string{"complete", "completed", "incomplete", "foster"}
+	nurseryChildren = []string{"1", "2", "3", "more"}
+	nurseryHousing  = []string{"convenient", "less_conv", "critical"}
+	nurserySocial   = []string{"nonprob", "slightly_prob", "problematic"}
+	nurseryHealth   = []string{"recommended", "priority", "not_recom"}
+	nurseryFinance  = []string{"convenient", "inconv"}
+)
+
+// nurseryFinanceOf determines mainstream finance from (parents, housing).
+func nurseryFinanceOf(parents, housing string) string {
+	switch {
+	case housing == "critical":
+		return "inconv"
+	case parents == "great_pret" && housing == "less_conv":
+		return "inconv"
+	default:
+		return "convenient"
+	}
+}
+
+// Nursery returns the Nursery-like world.
+func Nursery() *World {
+	attrs := func() []relation.Attribute {
+		return []relation.Attribute{
+			{Name: "parents"},
+			{Name: "has_nurs"},
+			{Name: "form"},
+			{Name: "children"},
+			{Name: "housing"},
+			{Name: "social"},
+			{Name: "health"},
+			{Name: "recommend"},
+			{Name: "finance"},
+		}
+	}
+	inputSchema := relation.NewSchema(attrs()...)
+	masterSchema := relation.NewSchema(attrs()...)
+
+	gen := func(rng *rand.Rand) Entity {
+		parents := pick(rng, nurseryParents)
+		housing := pick(rng, nurseryHousing)
+		health := pickZipf(rng, nurseryHealth)
+		finance := nurseryFinanceOf(parents, housing)
+		if health == "not_recom" {
+			finance = pick(rng, nurseryFinance)
+		} else if rng.Float64() < 0.03 {
+			finance = pick(rng, nurseryFinance)
+		}
+		return Entity{
+			"parents":   parents,
+			"has_nurs":  pick(rng, nurseryHasNurs),
+			"form":      pick(rng, nurseryForm),
+			"children":  pick(rng, nurseryChildren),
+			"housing":   housing,
+			"social":    pick(rng, nurserySocial),
+			"health":    health,
+			"recommend": pick(rng, []string{"recommend", "priority", "not_recom", "very_recom", "spec_prior"}),
+			"finance":   finance,
+		}
+	}
+
+	render := func(e Entity) []string {
+		return []string{
+			e["parents"], e["has_nurs"], e["form"], e["children"],
+			e["housing"], e["social"], e["health"], e["recommend"],
+			e["finance"],
+		}
+	}
+
+	return &World{
+		Name:            "nursery",
+		InputSchema:     inputSchema,
+		MasterSchema:    masterSchema,
+		YName:           "finance",
+		YmName:          "finance",
+		DefaultSupport:  1000,
+		PaperInputSize:  10000,
+		PaperMasterSize: 2980,
+		WorldSize:       12960,
+		Gen:             gen,
+		InMaster: func(e Entity) bool {
+			return e["health"] != "not_recom"
+		},
+		RenderInput:  render,
+		RenderMaster: render,
+	}
+}

@@ -1,0 +1,152 @@
+// Package enuminer implements EnuMiner (paper §II-D), the
+// enumeration-based editing-rule discovery baseline, and its heuristic
+// variant EnuMinerH3 (§V-D2) that bounds rule length.
+//
+// EnuMiner performs a levelwise walk of the rule lattice in the style of
+// CTANE: it starts from the empty rule and repeatedly refines rules by
+// adding LHS attribute pairs or pattern conditions. The enumeration space
+// N_enum = 2^|M| · Π_{A∈R\Y}(|dom(A)|+1) is exponential, so the miner
+// deploys the pruning strategies the paper describes:
+//
+//   - support pruning: by Lemma 1, refinement never increases support, so
+//     a subtree rooted at a rule below η_s is discarded;
+//   - certainty pruning: a rule that already returns a single certain fix
+//     (C = 1) is not refined further (Alg. 4 line 14);
+//   - canonical ordered extension: each candidate rule is generated
+//     exactly once (the role the paper's hash table plays);
+//   - cover-index subspace search: children are evaluated only over the
+//     parent's pattern cover (Alg. 4 lines 9–10).
+package enuminer
+
+import (
+	"erminer/internal/core"
+	"erminer/internal/rule"
+)
+
+// Config controls an EnuMiner run.
+type Config struct {
+	// Space configures the candidate refinement space.
+	Space core.SpaceConfig
+	// MaxLHS and MaxPattern bound the rule shape; zero means unbounded.
+	// EnuMinerH3 sets both to 3.
+	MaxLHS, MaxPattern int
+	// MaxExplored caps the number of evaluated candidates as a safety
+	// valve; zero means no cap.
+	MaxExplored int
+}
+
+// Miner is the enumeration-based discovery algorithm.
+type Miner struct {
+	cfg  Config
+	name string
+}
+
+// New returns an EnuMiner with the given configuration.
+func New(cfg Config) *Miner {
+	return &Miner{cfg: cfg, name: "EnuMiner"}
+}
+
+// NewH3 returns EnuMinerH3: EnuMiner with LHS and pattern lengths bounded
+// by 3 (§V-D2).
+func NewH3(cfg Config) *Miner {
+	cfg.MaxLHS, cfg.MaxPattern = 3, 3
+	return &Miner{cfg: cfg, name: "EnuMinerH3"}
+}
+
+// Name implements core.Miner.
+func (m *Miner) Name() string { return m.name }
+
+// node is one lattice element during the walk.
+type node struct {
+	r      *rule.Rule
+	cover  []int32
+	maxDim int // canonical extension: children only add dims > maxDim
+}
+
+// Mine implements core.Miner.
+func (m *Miner) Mine(p *core.Problem) (*core.ResultSet, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	spaceCfg := m.cfg.Space
+	if spaceCfg.MinValueCount == 0 {
+		spaceCfg.MinValueCount = p.SupportThreshold
+	}
+	space := core.BuildSpace(p, spaceCfg)
+	ev := p.NewEvaluator()
+
+	root := &node{
+		r:      rule.New(nil, p.Y, p.Ym, nil),
+		maxDim: -1,
+	}
+	rootMeasures := ev.Evaluate(root.r, nil)
+	root.cover = rootMeasures.PatternCover
+
+	var (
+		queue    = []*node{root}
+		found    []core.MinedRule
+		explored = 0
+	)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for d := n.maxDim + 1; d < space.Dim(); d++ {
+			child, ok := m.refine(space, n, d)
+			if !ok {
+				continue
+			}
+			if m.cfg.MaxExplored > 0 && explored >= m.cfg.MaxExplored {
+				queue = nil
+				break
+			}
+			explored++
+			ms := ev.Evaluate(child.r, n.cover)
+			child.cover = ms.PatternCover
+
+			if len(child.r.LHS) == 0 {
+				// A pattern-only node is an internal node: it cannot be
+				// a rule, but its subtree can. Its support upper bound
+				// is its cover size.
+				if len(child.cover) >= p.SupportThreshold {
+					queue = append(queue, child)
+				}
+				continue
+			}
+			if ms.Support < p.SupportThreshold {
+				continue // Lemma 1: the whole subtree is below η_s
+			}
+			found = append(found, core.MinedRule{Rule: child.r, Measures: ms})
+			if ms.Certainty < 1 {
+				queue = append(queue, child)
+			}
+		}
+	}
+
+	return &core.ResultSet{
+		Rules:    core.SelectTopK(found, p.K()),
+		Explored: explored,
+	}, nil
+}
+
+// refine builds the child of n on dimension d, or reports that the
+// dimension is inapplicable (attribute already used, or shape bound hit).
+func (m *Miner) refine(space *core.Space, n *node, d int) (*node, bool) {
+	if d < space.NumLHS() {
+		pair := space.LHSPairs[d]
+		if n.r.HasLHSAttr(pair.Input) {
+			return nil, false
+		}
+		if m.cfg.MaxLHS > 0 && len(n.r.LHS) >= m.cfg.MaxLHS {
+			return nil, false
+		}
+		return &node{r: n.r.WithLHS(pair.Input, pair.Master), maxDim: d}, true
+	}
+	unit := space.Unit(d)
+	if n.r.HasPatternAttr(unit.Cond.Attr) {
+		return nil, false
+	}
+	if m.cfg.MaxPattern > 0 && len(n.r.Pattern) >= m.cfg.MaxPattern {
+		return nil, false
+	}
+	return &node{r: n.r.WithCondition(unit.Cond), maxDim: d}, true
+}

@@ -1,0 +1,292 @@
+package enuminer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"erminer/internal/core"
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+	"erminer/internal/schema"
+)
+
+// plantedProblem builds data with a planted dependency Y = f(A, B) plus
+// a guard attribute G: tuples with G = "bad" have scrambled Y and are
+// absent from the master data. Every single attribute leaves the join
+// groups impure, so the miner must refine to (A, B).
+func plantedProblem(t testing.TB, n int, seed int64) *core.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b"},
+		relation.Attribute{Name: "G"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(4)
+		b := rng.Intn(4)
+		y := fmt.Sprintf("y%d", (a*3+b*5)%7)
+		g := "good"
+		if rng.Intn(5) == 0 {
+			g = "bad"
+			y = fmt.Sprintf("y%d", rng.Intn(7))
+		}
+		input.AppendRow([]string{
+			fmt.Sprintf("a%d", a), fmt.Sprintf("b%d", b), g, y,
+		})
+		if g == "good" {
+			my := (a*3 + b*5) % 7
+			if rng.Intn(33) == 0 {
+				// A pinch of master-side noise keeps every rule's
+				// certainty below 1, so the paper's certainty pruning
+				// (Alg. 4 line 14) never stops refinement and the
+				// brute-force comparison below is apples-to-apples.
+				my = (my + 1) % 7
+			}
+			master.AppendRow([]string{
+				fmt.Sprintf("a%d", a), fmt.Sprintf("b%d", b),
+				fmt.Sprintf("y%d", my),
+			})
+		}
+	}
+	return &core.Problem{
+		Input:            input,
+		Master:           master,
+		Match:            schema.AutoMatch(in, ms),
+		Y:                3,
+		Ym:               2,
+		SupportThreshold: 20,
+		TopK:             10,
+	}
+}
+
+func TestEnuMinerFindsPlantedRule(t *testing.T) {
+	p := plantedProblem(t, 600, 1)
+	res, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules discovered")
+	}
+	top := res.Rules[0]
+	if !top.Rule.HasLHSAttr(0) || !top.Rule.HasLHSAttr(1) {
+		t.Errorf("top rule misses the planted (A, B) LHS: %s",
+			top.Rule.String(p.Input, p.Master.Schema()))
+	}
+	if top.Measures.Certainty < 0.9 {
+		t.Errorf("planted rule certainty = %g, want ≥ 0.9", top.Measures.Certainty)
+	}
+}
+
+func TestEnuMinerRespectsSupportThreshold(t *testing.T) {
+	p := plantedProblem(t, 600, 2)
+	res, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rules {
+		if r.Measures.Support < p.SupportThreshold {
+			t.Errorf("rule below η_s: S=%d", r.Measures.Support)
+		}
+		if len(r.Rule.LHS) == 0 {
+			t.Error("rule with empty LHS returned")
+		}
+	}
+}
+
+func TestEnuMinerResultNonRedundant(t *testing.T) {
+	p := plantedProblem(t, 600, 3)
+	res, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Rules {
+		for j, b := range res.Rules {
+			if i != j && rule.Dominates(a.Rule, b.Rule) {
+				t.Errorf("rule %d dominates rule %d", i, j)
+			}
+		}
+	}
+}
+
+func TestEnuMinerResultSortedByUtility(t *testing.T) {
+	p := plantedProblem(t, 600, 4)
+	res, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rules); i++ {
+		if res.Rules[i].Measures.Utility > res.Rules[i-1].Measures.Utility {
+			t.Errorf("rules not sorted: %g > %g at %d",
+				res.Rules[i].Measures.Utility, res.Rules[i-1].Measures.Utility, i)
+		}
+	}
+}
+
+func TestEnuMinerH3Bounds(t *testing.T) {
+	p := plantedProblem(t, 600, 5)
+	m := NewH3(Config{})
+	if m.Name() != "EnuMinerH3" {
+		t.Errorf("name = %q", m.Name())
+	}
+	res, err := m.Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rules {
+		if len(r.Rule.LHS) > 3 || len(r.Rule.Pattern) > 3 {
+			t.Errorf("H3 rule exceeds bounds: LHS=%d pattern=%d",
+				len(r.Rule.LHS), len(r.Rule.Pattern))
+		}
+	}
+	full, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explored > full.Explored {
+		t.Errorf("H3 explored more than full EnuMiner: %d > %d",
+			res.Explored, full.Explored)
+	}
+}
+
+func TestEnuMinerMaxExplored(t *testing.T) {
+	p := plantedProblem(t, 600, 6)
+	res, err := New(Config{MaxExplored: 50}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explored > 50 {
+		t.Errorf("explored %d > cap 50", res.Explored)
+	}
+}
+
+// bruteForce enumerates every rule with |LHS| ≤ 2 and |pattern| ≤ 1 and
+// returns the maximum utility among rules meeting the support threshold.
+func bruteForce(p *core.Problem) float64 {
+	space := core.BuildSpace(p, core.SpaceConfig{MinValueCount: p.SupportThreshold, MaxValueFrac: -1})
+	ev := measure.NewEvaluator(p.Input, p.Master, p.Truth)
+	best := 0.0
+	consider := func(r *rule.Rule) {
+		m := ev.Evaluate(r, nil)
+		if m.Support >= p.SupportThreshold && m.Utility > best {
+			best = m.Utility
+		}
+	}
+	var lhsSets [][]rule.AttrPair
+	for i, a := range space.LHSPairs {
+		lhsSets = append(lhsSets, []rule.AttrPair{a})
+		for _, b := range space.LHSPairs[i+1:] {
+			if b.Input != a.Input {
+				lhsSets = append(lhsSets, []rule.AttrPair{a, b})
+			}
+		}
+	}
+	for _, lhs := range lhsSets {
+		consider(rule.New(lhs, p.Y, p.Ym, nil))
+		for _, u := range space.Units {
+			consider(rule.New(lhs, p.Y, p.Ym, []rule.Condition{u.Cond}))
+		}
+	}
+	return best
+}
+
+// TestEnuMinerMatchesBruteForce: on a small instance, EnuMiner's best
+// rule must reach the brute-force optimum over the depth-3 space.
+func TestEnuMinerMatchesBruteForce(t *testing.T) {
+	p := plantedProblem(t, 400, 7)
+	res, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules")
+	}
+	want := bruteForce(p)
+	got := res.Rules[0].Measures.Utility
+	if got < want-1e-9 {
+		t.Errorf("EnuMiner best utility %g < brute force %g", got, want)
+	}
+}
+
+// TestEnuMinerGuardImprovesQuality: the guarded pattern G = "good" must
+// appear among the discovered rules, since it removes the scrambled
+// sub-population from the covered tuples.
+func TestEnuMinerGuardImprovesQuality(t *testing.T) {
+	p := plantedProblem(t, 1200, 8)
+	res, err := New(Config{}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.Rules {
+		for _, c := range r.Rule.Pattern {
+			if c.Attr == 2 { // G
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no discovered rule carries a guard condition on G")
+	}
+}
+
+func TestEnuMinerInvalidProblem(t *testing.T) {
+	if _, err := New(Config{}).Mine(&core.Problem{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestEnuMinerDeterministic(t *testing.T) {
+	p1 := plantedProblem(t, 400, 9)
+	p2 := plantedProblem(t, 400, 9)
+	r1, err := New(Config{}).Mine(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(Config{}).Mine(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rules) != len(r2.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(r1.Rules), len(r2.Rules))
+	}
+	for i := range r1.Rules {
+		if r1.Rules[i].Rule.Key() != r2.Rules[i].Rule.Key() {
+			t.Errorf("rule %d differs across identical runs", i)
+		}
+	}
+}
+
+// TestEnuMinerNegatedGuard: with the ā extension enabled, the miner can
+// express the guard as a single negated condition G ≠ "bad" instead of
+// one positive rule per good value.
+func TestEnuMinerNegatedGuard(t *testing.T) {
+	p := plantedProblem(t, 1200, 10)
+	res, err := New(Config{Space: core.SpaceConfig{NegatedUnits: true}}).Mine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundNegated := false
+	for _, r := range res.Rules {
+		for _, c := range r.Rule.Pattern {
+			if c.Negate && c.Attr == 2 {
+				foundNegated = true
+			}
+		}
+	}
+	if !foundNegated {
+		t.Error("no rule with a negated guard discovered")
+	}
+}

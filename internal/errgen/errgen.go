@@ -1,0 +1,210 @@
+// Package errgen injects synthetic errors into a clean input relation,
+// following the error-generation protocol of BART [10] that the paper
+// adopts (§V-A1): a configurable fraction of cells is corrupted with
+// typos, value substitutions and missing values, and the ground truth of
+// every corrupted cell is recorded so that the Quality measure and the
+// weighted precision/recall/F-measure can be computed exactly.
+package errgen
+
+import (
+	"math/rand"
+
+	"erminer/internal/relation"
+)
+
+// Kind is one class of injected error.
+type Kind int
+
+const (
+	// Missing blanks the cell (relation.Null).
+	Missing Kind = iota
+	// Substitute replaces the value with a different value drawn from
+	// the attribute's active domain.
+	Substitute
+	// Typo perturbs the string value by one character edit, usually
+	// producing an out-of-domain value.
+	Typo
+	// Swap exchanges the cell's value with the same column of another
+	// random row (BART's pairwise value swap). Both cells become errors
+	// when their values differ. Disabled by default; enable via Weights.
+	Swap
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Missing:
+		return "missing"
+	case Substitute:
+		return "substitute"
+	case Typo:
+		return "typo"
+	case Swap:
+		return "swap"
+	default:
+		return "unknown"
+	}
+}
+
+// Error records one injected error.
+type Error struct {
+	Row, Col int
+	Kind     Kind
+	// Truth is the original (clean) code of the cell.
+	Truth int32
+}
+
+// Config controls the injection.
+type Config struct {
+	// Rate is the per-cell corruption probability.
+	Rate float64
+	// Cols restricts injection to these columns; nil means all columns.
+	Cols []int
+	// Weights gives the relative frequency of (Missing, Substitute,
+	// Typo, Swap). Zero value means the default (0.3, 0.4, 0.3, 0):
+	// swaps occur only when explicitly weighted, keeping the paper's
+	// error profile as the baseline.
+	Weights [4]float64
+	// Rng drives the randomness; required.
+	Rng *rand.Rand
+}
+
+func (c *Config) weights() [4]float64 {
+	if c.Weights == ([4]float64{}) {
+		return [4]float64{0.3, 0.4, 0.3, 0}
+	}
+	return c.Weights
+}
+
+// Inject corrupts the relation in place and returns the injected errors.
+// Callers who need the clean data keep a Clone taken before injection.
+func Inject(rel *relation.Relation, cfg Config) []Error {
+	if cfg.Rng == nil {
+		panic("errgen: Config.Rng is required")
+	}
+	cols := cfg.Cols
+	if cols == nil {
+		cols = make([]int, rel.NumCols())
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	w := cfg.weights()
+	total := w[0] + w[1] + w[2] + w[3]
+
+	// Pre-compute active domains for substitution.
+	domains := make(map[int][]int32)
+	for _, c := range cols {
+		domains[c] = rel.DomainCodes(c)
+	}
+
+	var errs []Error
+	// touched guards against corrupting a cell twice (possible once
+	// swaps are enabled), which would record a wrong ground truth.
+	touched := make(map[[2]int]bool)
+	for row := 0; row < rel.NumRows(); row++ {
+		for _, col := range cols {
+			if cfg.Rng.Float64() >= cfg.Rate {
+				continue
+			}
+			if touched[[2]int{row, col}] {
+				continue
+			}
+			orig := rel.Code(row, col)
+			if orig == relation.Null {
+				continue // already missing; nothing to corrupt
+			}
+			kind := pickKind(cfg.Rng, w, total)
+			switch kind {
+			case Missing:
+				rel.SetCode(row, col, relation.Null)
+			case Substitute:
+				dom := domains[col]
+				if len(dom) < 2 {
+					continue
+				}
+				repl := dom[cfg.Rng.Intn(len(dom))]
+				for repl == orig {
+					repl = dom[cfg.Rng.Intn(len(dom))]
+				}
+				rel.SetCode(row, col, repl)
+			case Typo:
+				v := rel.Dict(col).Value(orig)
+				rel.SetValue(row, col, typo(cfg.Rng, v))
+			case Swap:
+				other := cfg.Rng.Intn(rel.NumRows())
+				otherVal := rel.Code(other, col)
+				if otherVal == orig || otherVal == relation.Null ||
+					touched[[2]int{other, col}] {
+					continue
+				}
+				rel.SetCode(row, col, otherVal)
+				rel.SetCode(other, col, orig)
+				touched[[2]int{other, col}] = true
+				errs = append(errs, Error{Row: other, Col: col, Kind: Swap, Truth: otherVal})
+			}
+			touched[[2]int{row, col}] = true
+			errs = append(errs, Error{Row: row, Col: col, Kind: kind, Truth: orig})
+		}
+	}
+	return errs
+}
+
+func pickKind(rng *rand.Rand, w [4]float64, total float64) Kind {
+	x := rng.Float64() * total
+	switch {
+	case x < w[0]:
+		return Missing
+	case x < w[0]+w[1]:
+		return Substitute
+	case x < w[0]+w[1]+w[2]:
+		return Typo
+	default:
+		return Swap
+	}
+}
+
+// typo applies one random character-level edit: substitution, deletion,
+// insertion or adjacent transposition.
+func typo(rng *rand.Rand, v string) string {
+	if v == "" {
+		return "?"
+	}
+	b := []byte(v)
+	const letters = "abcdefghijklmnopqrstuvwxyz0123456789"
+	switch rng.Intn(4) {
+	case 0: // substitute one character
+		i := rng.Intn(len(b))
+		b[i] = letters[rng.Intn(len(letters))]
+	case 1: // delete one character
+		if len(b) > 1 {
+			i := rng.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		} else {
+			b = append(b, letters[rng.Intn(len(letters))])
+		}
+	case 2: // insert one character
+		i := rng.Intn(len(b) + 1)
+		b = append(b[:i], append([]byte{letters[rng.Intn(len(letters))]}, b[i:]...)...)
+	default: // transpose adjacent characters
+		if len(b) > 1 {
+			i := rng.Intn(len(b) - 1)
+			b[i], b[i+1] = b[i+1], b[i]
+		} else {
+			b = append(b, letters[rng.Intn(len(letters))])
+		}
+	}
+	out := string(b)
+	if out == v {
+		out = v + "~"
+	}
+	return out
+}
+
+// TruthColumn reconstructs the ground-truth codes of one column: the clean
+// relation's codes. It is a convenience for building the truth vector the
+// measure and metrics packages consume.
+func TruthColumn(clean *relation.Relation, col int) []int32 {
+	out := make([]int32, clean.NumRows())
+	copy(out, clean.Column(col))
+	return out
+}

@@ -1,0 +1,206 @@
+package errgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"erminer/internal/relation"
+)
+
+func bigRelation(rows int) *relation.Relation {
+	s := relation.NewSchema(
+		relation.Attribute{Name: "a"},
+		relation.Attribute{Name: "b"},
+	)
+	r := relation.New(s, relation.NewPool())
+	vals := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < rows; i++ {
+		r.AppendRow([]string{vals[i%4], vals[(i+1)%4]})
+	}
+	return r
+}
+
+func TestInjectRate(t *testing.T) {
+	r := bigRelation(5000)
+	errs := Inject(r, Config{Rate: 0.1, Rng: rand.New(rand.NewSource(1))})
+	got := float64(len(errs)) / float64(5000*2)
+	if math.Abs(got-0.1) > 0.02 {
+		t.Errorf("observed error rate %.3f, want ≈ 0.10", got)
+	}
+}
+
+func TestInjectRecordsTruth(t *testing.T) {
+	r := bigRelation(1000)
+	clean := r.Clone()
+	errs := Inject(r, Config{Rate: 0.2, Rng: rand.New(rand.NewSource(2))})
+	if len(errs) == 0 {
+		t.Fatal("no errors injected")
+	}
+	for _, e := range errs {
+		if e.Truth != clean.Code(e.Row, e.Col) {
+			t.Fatalf("recorded truth %d, clean value %d", e.Truth, clean.Code(e.Row, e.Col))
+		}
+		got := r.Code(e.Row, e.Col)
+		switch e.Kind {
+		case Missing:
+			if got != relation.Null {
+				t.Fatalf("missing error left value %d", got)
+			}
+		case Substitute, Typo:
+			if got == e.Truth {
+				t.Fatalf("%v error left the value unchanged", e.Kind)
+			}
+		}
+	}
+}
+
+func TestInjectKindsAllOccur(t *testing.T) {
+	r := bigRelation(3000)
+	errs := Inject(r, Config{Rate: 0.3, Rng: rand.New(rand.NewSource(3))})
+	counts := make(map[Kind]int)
+	for _, e := range errs {
+		counts[e.Kind]++
+	}
+	for _, k := range []Kind{Missing, Substitute, Typo} {
+		if counts[k] == 0 {
+			t.Errorf("kind %v never injected", k)
+		}
+	}
+}
+
+func TestInjectColsRestriction(t *testing.T) {
+	r := bigRelation(1000)
+	errs := Inject(r, Config{Rate: 0.3, Cols: []int{1}, Rng: rand.New(rand.NewSource(4))})
+	for _, e := range errs {
+		if e.Col != 1 {
+			t.Fatalf("error in column %d despite Cols=[1]", e.Col)
+		}
+	}
+	if len(errs) == 0 {
+		t.Fatal("no errors injected in the allowed column")
+	}
+}
+
+func TestInjectWeights(t *testing.T) {
+	r := bigRelation(3000)
+	errs := Inject(r, Config{
+		Rate:    0.3,
+		Weights: [4]float64{1, 0, 0, 0}, // only missing
+		Rng:     rand.New(rand.NewSource(5)),
+	})
+	for _, e := range errs {
+		if e.Kind != Missing {
+			t.Fatalf("kind %v injected despite missing-only weights", e.Kind)
+		}
+	}
+}
+
+func TestInjectSkipsNullCells(t *testing.T) {
+	s := relation.NewSchema(relation.Attribute{Name: "a"})
+	r := relation.New(s, relation.NewPool())
+	for i := 0; i < 100; i++ {
+		r.AppendRow([]string{""}) // all Null
+	}
+	errs := Inject(r, Config{Rate: 1.0, Rng: rand.New(rand.NewSource(6))})
+	if len(errs) != 0 {
+		t.Errorf("injected %d errors into all-Null column", len(errs))
+	}
+}
+
+func TestInjectRequiresRng(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inject without Rng did not panic")
+		}
+	}()
+	Inject(bigRelation(1), Config{Rate: 0.5})
+}
+
+func TestTypoAlwaysChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, v := range []string{"", "a", "ab", "hello", "2021-12"} {
+		for i := 0; i < 50; i++ {
+			if got := typo(rng, v); got == v {
+				t.Fatalf("typo(%q) returned the input", v)
+			}
+		}
+	}
+}
+
+func TestTruthColumn(t *testing.T) {
+	r := bigRelation(10)
+	truth := TruthColumn(r, 0)
+	if len(truth) != 10 {
+		t.Fatalf("len = %d", len(truth))
+	}
+	for i := range truth {
+		if truth[i] != r.Code(i, 0) {
+			t.Fatalf("truth[%d] = %d", i, truth[i])
+		}
+	}
+	// The returned slice is a copy.
+	truth[0] = 99
+	if r.Code(0, 0) == 99 {
+		t.Error("TruthColumn shares backing store")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Missing: "missing", Substitute: "substitute", Typo: "typo", Kind(9): "unknown"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestInjectSwap(t *testing.T) {
+	r := bigRelation(2000)
+	clean := r.Clone()
+	errs := Inject(r, Config{
+		Rate:    0.2,
+		Weights: [4]float64{0, 0, 0, 1}, // swaps only
+		Rng:     rand.New(rand.NewSource(8)),
+	})
+	if len(errs) == 0 {
+		t.Fatal("no swaps injected")
+	}
+	for _, e := range errs {
+		if e.Kind != Swap {
+			t.Fatalf("kind %v injected despite swap-only weights", e.Kind)
+		}
+		if e.Truth != clean.Code(e.Row, e.Col) {
+			t.Fatalf("swap truth wrong at (%d,%d): %d vs clean %d",
+				e.Row, e.Col, e.Truth, clean.Code(e.Row, e.Col))
+		}
+		if r.Code(e.Row, e.Col) == e.Truth {
+			t.Fatalf("swap left cell (%d,%d) unchanged", e.Row, e.Col)
+		}
+	}
+	// Swaps preserve column value multisets.
+	for col := 0; col < r.NumCols(); col++ {
+		want := clean.ValueCounts(col)
+		got := r.ValueCounts(col)
+		for v, n := range want {
+			if got[v] != n {
+				t.Fatalf("column %d multiset changed for value %d", col, v)
+			}
+		}
+	}
+}
+
+func TestInjectNoDoubleCorruption(t *testing.T) {
+	r := bigRelation(500)
+	errs := Inject(r, Config{
+		Rate: 0.9,
+		Rng:  rand.New(rand.NewSource(9)),
+	})
+	seen := make(map[[2]int]bool)
+	for _, e := range errs {
+		cell := [2]int{e.Row, e.Col}
+		if seen[cell] {
+			t.Fatalf("cell (%d,%d) corrupted twice", e.Row, e.Col)
+		}
+		seen[cell] = true
+	}
+}

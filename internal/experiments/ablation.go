@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"erminer/internal/mdp"
+	"erminer/internal/metrics"
+	"erminer/internal/repair"
+	"erminer/internal/report"
+	"erminer/internal/rl"
+	"erminer/internal/rlminer"
+)
+
+// Ablation is a supplementary experiment (DESIGN.md §4): it re-runs
+// RLMiner on the Covid dataset with individual design decisions switched
+// off (or variants switched on) and reports the effect on repair
+// quality, rule count, exploration volume and training time.
+func (c *Config) Ablation() error {
+	type variant struct {
+		name string
+		cfg  func(base rlminer.Config) rlminer.Config
+	}
+	variants := []variant{
+		{"default", func(b rlminer.Config) rlminer.Config { return b }},
+		{"no-seed-singletons", func(b rlminer.Config) rlminer.Config {
+			b.Env = mdp.Config{DisableSeedSingletons: true}
+			return b
+		}},
+		{"no-shaping", func(b rlminer.Config) rlminer.Config {
+			b.Env = mdp.Config{DisableShaping: true}
+			return b
+		}},
+		{"no-global-mask", func(b rlminer.Config) rlminer.Config {
+			b.Env = mdp.Config{DisableGlobalMask: true}
+			return b
+		}},
+		{"no-reward-cache", func(b rlminer.Config) rlminer.Config {
+			b.Env = mdp.Config{DisableRewardCache: true}
+			return b
+		}},
+		{"no-normalize", func(b rlminer.Config) rlminer.Config {
+			b.Env = mdp.Config{DisableNormalize: true}
+			return b
+		}},
+		{"inference-only", func(b rlminer.Config) rlminer.Config {
+			b.InferenceOnly = true
+			return b
+		}},
+		{"double-dqn", func(b rlminer.Config) rlminer.Config {
+			b.Agent = rl.Config{DoubleDQN: true}
+			return b
+		}},
+		{"prioritized", func(b rlminer.Config) rlminer.Config {
+			b.Agent = rl.Config{PrioritizedAlpha: 0.6}
+			return b
+		}},
+	}
+
+	t := report.NewTable("Ablation: RLMiner design decisions over Covid",
+		"Variant", "F1", "Rules", "Explored", "Train (s)")
+	for _, v := range variants {
+		var f1s, secs, explored, rules []float64
+		for i := 0; i < c.repeats(); i++ {
+			seed := c.Seed + int64(i)*101
+			inst, err := c.BuildInstance(NewInstanceSpec("covid", seed))
+			if err != nil {
+				return err
+			}
+			base := rlminer.Config{
+				TrainSteps: c.Scale.trainSteps(),
+				Seed:       seed,
+			}
+			m := rlminer.New(v.cfg(base))
+			start := time.Now()
+			res, err := m.Mine(inst.Problem)
+			if err != nil {
+				return err
+			}
+			secs = append(secs, time.Since(start).Seconds())
+			ev := inst.Problem.NewEvaluator()
+			fixes := repair.Apply(ev, res.RuleList())
+			f1s = append(f1s, metrics.Weighted(fixes.Pred, inst.Truth).F1)
+			explored = append(explored, float64(res.Explored))
+			rules = append(rules, float64(len(res.Rules)))
+		}
+		mf, sf := metrics.MeanStd(f1s)
+		mt, _ := metrics.MeanStd(secs)
+		me, _ := metrics.MeanStd(explored)
+		mr, _ := metrics.MeanStd(rules)
+		t.AddRow(v.name,
+			fmt.Sprintf("%.2f ± %.2f", mf, sf),
+			fmt.Sprintf("%.0f", mr),
+			fmt.Sprintf("%.0f", me),
+			fmt.Sprintf("%.2f", mt))
+	}
+	t.Render(c.Out)
+	return nil
+}

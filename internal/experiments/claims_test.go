@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"erminer/internal/rlminer"
+)
+
+// TestPaperClaims asserts the qualitative shape of the paper's
+// evaluation at bench scale — who wins, in quality and in time — rather
+// than absolute numbers. It is the executable summary of EXPERIMENTS.md.
+// Skipped under -short: the full comparison takes tens of seconds.
+func TestPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-claims comparison is slow")
+	}
+	cfg := &Config{Scale: ScaleBench, Seed: 1}
+
+	// Claim 1 (Table III): on Adult, EnuMiner and RLMiner repair with
+	// similar quality, and CTANE has the lowest recall of the three
+	// (master-only CFDs carry no input-side conditions).
+	inst, err := cfg.BuildInstance(NewInstanceSpec("adult", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(map[Method]*RunResult)
+	for _, m := range []Method{MethodCTANE, MethodEnuMiner, MethodEnuMinerH3, MethodRLMiner} {
+		res, err := cfg.RunOne(inst, m, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		results[m] = res
+		t.Logf("%-11s F1=%.3f R=%.3f time=%v explored=%d",
+			m, res.PRF.F1, res.PRF.Recall, res.MineTime.Round(time.Millisecond), res.Explored)
+	}
+	enu, rl, ctane := results[MethodEnuMiner], results[MethodRLMiner], results[MethodCTANE]
+	if rl.PRF.F1 < enu.PRF.F1-0.25 {
+		t.Errorf("claim 1: RLMiner F1 %.3f far below EnuMiner %.3f", rl.PRF.F1, enu.PRF.F1)
+	}
+	if ctane.PRF.Recall >= enu.PRF.Recall {
+		t.Errorf("claim 1: CTANE recall %.3f not below EnuMiner %.3f",
+			ctane.PRF.Recall, enu.PRF.Recall)
+	}
+
+	// Claim 2 (Figures 8-9): RLMiner explores orders of magnitude fewer
+	// candidates than EnuMiner, and EnuMinerH3 sits between them in
+	// work; EnuMiner costs the most wall-clock time.
+	if rl.Explored*10 > enu.Explored {
+		t.Errorf("claim 2: RLMiner explored %d, not ≪ EnuMiner's %d",
+			rl.Explored, enu.Explored)
+	}
+	h3 := results[MethodEnuMinerH3]
+	if h3.Explored > enu.Explored {
+		t.Errorf("claim 2: H3 explored %d > EnuMiner %d", h3.Explored, enu.Explored)
+	}
+	if enu.MineTime < rl.MineTime {
+		t.Errorf("claim 2: EnuMiner (%v) faster than RLMiner (%v) — expected the opposite at this scale",
+			enu.MineTime, rl.MineTime)
+	}
+
+	// Claim 3 (Figures 10-12): fine-tuning costs a fraction of training
+	// from scratch at comparable quality.
+	inst2, err := cfg.BuildInstance(NewInstanceSpec("adult", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := rlminer.New(rlminer.Config{TrainSteps: cfg.Scale.trainSteps(), Seed: 2})
+	if _, err := scratch.Mine(inst.Problem); err != nil {
+		t.Fatal(err)
+	}
+	ft := rlminer.New(rlminer.Config{Seed: 3})
+	ftRes, err := ft.MineFineTuned(inst2.Problem, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scratch train=%v, fine-tune train=%v",
+		scratch.Stats().TrainTime.Round(time.Millisecond),
+		ft.Stats().TrainTime.Round(time.Millisecond))
+	if ft.Stats().TrainTime > scratch.Stats().TrainTime/2 {
+		t.Errorf("claim 3: fine-tune (%v) not clearly cheaper than scratch (%v)",
+			ft.Stats().TrainTime, scratch.Stats().TrainTime)
+	}
+	ftPRF := Repair(inst2, ftRes.Rules)
+	t.Logf("fine-tuned F1=%.3f", ftPRF.F1)
+
+	// Claim 4 (§V-B1, example rules): the discovered Covid rules carry
+	// the paper's overseas=No guard.
+	covid, err := cfg.BuildInstance(NewInstanceSpec("covid", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covidRes, err := cfg.RunOne(covid, MethodEnuMiner, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := covid.Problem.Input.Schema().MustIndex("overseas")
+	guarded := 0
+	for _, r := range covidRes.Rules {
+		for _, c := range r.Rule.Pattern {
+			if c.Attr == ov {
+				guarded++
+			}
+		}
+	}
+	if guarded == 0 {
+		t.Error("claim 4: no Covid rule carries a condition on overseas")
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"erminer/internal/metrics"
+	"erminer/internal/report"
+	"erminer/internal/rlminer"
+)
+
+// LearningCurve is a supplementary experiment (not a numbered paper
+// artifact): it prints RLMiner's per-episode summed reward over training
+// on each dataset, the curve behind Figure 12's fixed-step protocol. A
+// rising, flattening curve is the visual check that the agent converged
+// within the step budget.
+func (c *Config) LearningCurve() error {
+	f := report.NewFigure("Learning curve: episode reward during RLMiner training", "episode-bucket")
+	for _, name := range []string{"adult", "covid", "nursery", "location"} {
+		inst, err := c.BuildInstance(NewInstanceSpec(name, c.Seed))
+		if err != nil {
+			return err
+		}
+		m := rlminer.New(rlminer.Config{
+			TrainSteps: c.Scale.trainSteps(),
+			Seed:       c.Seed,
+		})
+		if _, err := m.Mine(inst.Problem); err != nil {
+			return err
+		}
+		rewards := m.Stats().EpisodeRewards
+		if len(rewards) == 0 {
+			continue
+		}
+		// Bucket the episodes into ten points so curves of different
+		// lengths share an x-axis.
+		const buckets = 10
+		for b := 0; b < buckets; b++ {
+			lo := b * len(rewards) / buckets
+			hi := (b + 1) * len(rewards) / buckets
+			if lo >= hi {
+				continue
+			}
+			mean, _ := metrics.MeanStd(rewards[lo:hi])
+			f.Add(name, float64(b+1), mean)
+		}
+	}
+	f.Render(c.Out)
+	fmt.Fprintln(c.Out)
+	return nil
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"erminer/internal/relation"
+)
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{
+		"bench": ScaleBench, "default": ScaleDefault, "": ScaleDefault, "paper": ScalePaper,
+	} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	if ScalePaper.sizeFactor() != 1.0 {
+		t.Error("paper scale must use full sizes")
+	}
+	if ScaleBench.sizeFactor() >= ScaleDefault.sizeFactor() {
+		t.Error("bench scale must be smaller than default")
+	}
+	if ScalePaper.trainSteps() != 5000 {
+		t.Errorf("paper train steps = %d", ScalePaper.trainSteps())
+	}
+}
+
+func TestBuildInstanceDefaults(t *testing.T) {
+	cfg := &Config{Scale: ScaleBench, Seed: 1}
+	inst, err := cfg.BuildInstance(NewInstanceSpec("covid", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Problem.Input.NumRows() != 250 {
+		t.Errorf("bench covid input = %d, want 250", inst.Problem.Input.NumRows())
+	}
+	if len(inst.Truth) != inst.Problem.Input.NumRows() {
+		t.Error("truth length mismatch")
+	}
+	// Default noise corrupted the input relative to the clean copy.
+	dirty := 0
+	for row := 0; row < inst.Problem.Input.NumRows(); row++ {
+		for col := 0; col < inst.Problem.Input.NumCols(); col++ {
+			if inst.Problem.Input.Code(row, col) != inst.Clean.Code(row, col) {
+				dirty++
+			}
+		}
+	}
+	if dirty == 0 {
+		t.Error("default noise injected nothing")
+	}
+	if err := inst.Problem.Validate(); err != nil {
+		t.Errorf("built instance invalid: %v", err)
+	}
+}
+
+func TestBuildInstanceZeroNoise(t *testing.T) {
+	cfg := &Config{Scale: ScaleBench, Seed: 1}
+	spec := NewInstanceSpec("covid", 1)
+	spec.NoiseRate = 0
+	inst, err := cfg.BuildInstance(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < inst.Problem.Input.NumRows(); row++ {
+		for col := 0; col < inst.Problem.Input.NumCols(); col++ {
+			if inst.Problem.Input.Code(row, col) != inst.Clean.Code(row, col) {
+				t.Fatal("zero noise still corrupted cells")
+			}
+		}
+	}
+}
+
+func TestBuildInstanceLocationProfile(t *testing.T) {
+	cfg := &Config{Scale: ScaleBench, Seed: 2}
+	inst, err := cfg.BuildInstance(NewInstanceSpec("location", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Location's error profile includes ~14.7% missing postcodes.
+	y := inst.Problem.Y
+	missing := 0
+	for row := 0; row < inst.Problem.Input.NumRows(); row++ {
+		if inst.Problem.Input.Code(row, y) == relation.Null {
+			missing++
+		}
+	}
+	frac := float64(missing) / float64(inst.Problem.Input.NumRows())
+	if frac < 0.08 || frac > 0.25 {
+		t.Errorf("missing postcode fraction = %.3f, want ≈ 0.147", frac)
+	}
+}
+
+func TestBuildInstanceUnknownDataset(t *testing.T) {
+	cfg := &Config{Scale: ScaleBench, Seed: 1}
+	if _, err := cfg.BuildInstance(NewInstanceSpec("bogus", 1)); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunOneAllMethods(t *testing.T) {
+	cfg := &Config{Scale: ScaleBench, Seed: 3}
+	inst, err := cfg.BuildInstance(NewInstanceSpec("nursery", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodCTANE, MethodEnuMiner, MethodEnuMinerH3} {
+		res, err := cfg.RunOne(inst, m, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.MineTime <= 0 {
+			t.Errorf("%s: no time recorded", m)
+		}
+		if res.PRF.F1 < 0 || res.PRF.F1 > 1 {
+			t.Errorf("%s: F1 = %g", m, res.PRF.F1)
+		}
+	}
+}
+
+func TestRunnersCoverAllNames(t *testing.T) {
+	cfg := &Config{Scale: ScaleBench, Seed: 1, Out: &bytes.Buffer{}}
+	r := cfg.Runners()
+	for _, n := range Names() {
+		if r[n] == nil {
+			t.Errorf("experiment %q has no runner", n)
+		}
+	}
+	if err := cfg.Run("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTableIOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := &Config{Scale: ScaleBench, Seed: 1, Out: &buf}
+	if err := cfg.Run("tableI"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"adult", "covid", "nursery", "location"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("tableI misses %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFigure2Output(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := &Config{Scale: ScaleBench, Seed: 1, Out: &buf}
+	if err := cfg.Run("figure2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 2(a)") || !strings.Contains(out, "Figure 2(b)") {
+		t.Errorf("figure2 output:\n%s", out)
+	}
+}
+
+func TestRepeatsDefaults(t *testing.T) {
+	if (&Config{Scale: ScaleBench}).repeats() != 2 {
+		t.Error("bench repeats")
+	}
+	if (&Config{Scale: ScalePaper}).repeats() != 5 {
+		t.Error("paper repeats should match the paper's 5 runs")
+	}
+	if (&Config{Scale: ScalePaper, Repeats: 1}).repeats() != 1 {
+		t.Error("explicit repeats ignored")
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"erminer/internal/core"
+	"erminer/internal/measure"
+	"erminer/internal/metrics"
+	"erminer/internal/report"
+	"erminer/internal/rlminer"
+)
+
+// Figure2 reproduces the utility-function illustration (paper Figure 2):
+// U(φ) grows linearly in Certainty at fixed Support, and saturates
+// (log-squared) in Support at fixed Certainty.
+func (c *Config) Figure2() error {
+	fa := report.NewFigure("Figure 2(a): Utility vs Certainty (S = 1000, Q = 0)", "certainty")
+	for _, cert := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		fa.Add("U", cert, measure.Utility(1000, cert, 0))
+	}
+	fa.Render(c.Out)
+	fmt.Fprintln(c.Out)
+
+	fb := report.NewFigure("Figure 2(b): Utility vs Support (C = 1, Q = 0)", "support")
+	for _, s := range []int{1, 10, 100, 1000, 10000, 100000} {
+		fb.Add("U", float64(s), measure.Utility(s, 1, 0))
+	}
+	fb.Render(c.Out)
+	return nil
+}
+
+// sweep runs a set of methods over instances produced per x value and
+// renders the F-measure and time panels the paper's figures use.
+func (c *Config) sweep(title, xlabel string, xs []float64,
+	build func(x float64, seed int64) (*Instance, error),
+	methods []Method) error {
+
+	quality := report.NewFigure(title+" — (a) F-Measure", xlabel)
+	times := report.NewFigure(title+" — (b) Time cost (s)", xlabel)
+	for _, x := range xs {
+		for _, m := range methods {
+			var f1s, secs []float64
+			for i := 0; i < c.repeats(); i++ {
+				seed := c.Seed + int64(i)*101
+				inst, err := build(x, seed)
+				if err != nil {
+					return err
+				}
+				res, err := c.RunOne(inst, m, seed)
+				if err != nil {
+					return err
+				}
+				f1s = append(f1s, res.PRF.F1)
+				secs = append(secs, res.MineTime.Seconds())
+			}
+			mf, _ := metrics.MeanStd(f1s)
+			mt, _ := metrics.MeanStd(secs)
+			quality.Add(string(m), x, mf)
+			times.Add(string(m), x, mt)
+		}
+	}
+	quality.Render(c.Out)
+	fmt.Fprintln(c.Out)
+	times.Render(c.Out)
+	return nil
+}
+
+// Figure6 reproduces the noise-rate sweep over Adult (paper Figure 6).
+func (c *Config) Figure6() error {
+	return c.sweep("Figure 6: Varying noise rate over Adult", "noise",
+		[]float64{0, 0.05, 0.10, 0.15, 0.20},
+		func(x float64, seed int64) (*Instance, error) {
+			spec := NewInstanceSpec("adult", seed)
+			spec.NoiseRate = x
+			return c.BuildInstance(spec)
+		},
+		[]Method{MethodEnuMiner, MethodEnuMinerH3, MethodRLMiner})
+}
+
+// Figure7 reproduces the duplicate-rate sweep over Adult (paper
+// Figure 7): d% of the input tuples correspond to master entities.
+func (c *Config) Figure7() error {
+	f := c.Scale.sizeFactor()
+	return c.sweep("Figure 7: Varying duplicate rate over Adult", "dup-rate",
+		[]float64{0.2, 0.4, 0.6, 0.8, 1.0},
+		func(x float64, seed int64) (*Instance, error) {
+			spec := NewInstanceSpec("adult", seed)
+			spec.DuplicateRate = x
+			spec.InputSize = int(10000 * f)
+			spec.MasterSize = int(5000 * f)
+			return c.BuildInstance(spec)
+		},
+		[]Method{MethodEnuMiner, MethodRLMiner})
+}
+
+// Figure8 reproduces the input-size sweep over Adult (paper Figure 8):
+// input grows from 10k to 40k (scaled), master fixed.
+func (c *Config) Figure8() error {
+	f := c.Scale.sizeFactor()
+	return c.sweep("Figure 8: Varying input data size over Adult", "input-size",
+		[]float64{math.Round(10000 * f), math.Round(20000 * f), math.Round(30000 * f), math.Round(40000 * f)},
+		func(x float64, seed int64) (*Instance, error) {
+			spec := NewInstanceSpec("adult", seed)
+			spec.InputSize = int(x)
+			spec.MasterSize = int(5000 * f)
+			return c.BuildInstance(spec)
+		},
+		[]Method{MethodEnuMiner, MethodEnuMinerH3, MethodRLMiner})
+}
+
+// Figure9 reproduces the master-size sweep over Adult (paper Figure 9):
+// master grows from 1k to 5k (scaled), input fixed at 40k (scaled).
+func (c *Config) Figure9() error {
+	f := c.Scale.sizeFactor()
+	return c.sweep("Figure 9: Varying master data size over Adult", "master-size",
+		[]float64{math.Round(1000 * f), math.Round(2000 * f), math.Round(3000 * f), math.Round(4000 * f), math.Round(5000 * f)},
+		func(x float64, seed int64) (*Instance, error) {
+			spec := NewInstanceSpec("adult", seed)
+			spec.InputSize = int(40000 * f)
+			spec.MasterSize = int(x)
+			return c.BuildInstance(spec)
+		},
+		[]Method{MethodEnuMiner, MethodEnuMinerH3, MethodRLMiner})
+}
+
+// incremental runs the paper's incremental-discovery protocol (Figures
+// 10 and 11): the data is enriched in stages; EnuMiner and RLMiner
+// restart from scratch at each stage while RLMiner-ft fine-tunes the
+// previous stage's value network with a reduced step budget.
+func (c *Config) incremental(title string, fracs []float64,
+	build func(frac float64, seed int64) (*Instance, error)) error {
+
+	quality := report.NewFigure(title+" — (a) F-Measure", "fraction")
+	times := report.NewFigure(title+" — (b) Time cost (s)", "fraction")
+
+	seed := c.Seed
+	var prev *rlminer.Miner
+	for _, frac := range fracs {
+		inst, err := build(frac, seed)
+		if err != nil {
+			return err
+		}
+		for _, m := range []Method{MethodEnuMiner, MethodRLMiner} {
+			res, err := c.RunOne(inst, m, seed)
+			if err != nil {
+				return err
+			}
+			quality.Add(string(m), frac, res.PRF.F1)
+			times.Add(string(m), frac, res.MineTime.Seconds())
+		}
+
+		// RLMiner-ft: first stage trains from scratch; later stages
+		// fine-tune the previous network.
+		ft := rlminer.New(rlminer.Config{
+			TrainSteps: c.Scale.trainSteps(),
+			Seed:       seed,
+		})
+		var prf metrics.PRF
+		var secs float64
+		if prev == nil {
+			res, err := c.timedMine(inst, ft, nil)
+			if err != nil {
+				return err
+			}
+			prf, secs = res.prf, res.seconds
+		} else {
+			res, err := c.timedMine(inst, ft, prev)
+			if err != nil {
+				return err
+			}
+			prf, secs = res.prf, res.seconds
+		}
+		prev = ft
+		quality.Add("RLMiner-ft", frac, prf.F1)
+		times.Add("RLMiner-ft", frac, secs)
+	}
+
+	quality.Render(c.Out)
+	fmt.Fprintln(c.Out)
+	times.Render(c.Out)
+	return nil
+}
+
+type timedResult struct {
+	prf     metrics.PRF
+	seconds float64
+}
+
+// timedMine mines (fine-tuning from prev when prev != nil) and scores
+// the repair.
+func (c *Config) timedMine(inst *Instance, m *rlminer.Miner, prev *rlminer.Miner) (*timedResult, error) {
+	start := time.Now()
+	var rs *core.ResultSet
+	var err error
+	if prev == nil {
+		rs, err = m.Mine(inst.Problem)
+	} else {
+		rs, err = m.MineFineTuned(inst.Problem, prev)
+	}
+	if err != nil {
+		return nil, err
+	}
+	secs := time.Since(start).Seconds()
+	return &timedResult{prf: Repair(inst, rs.Rules), seconds: secs}, nil
+}
+
+// Figure10 reproduces incremental input-data discovery (paper Figure 10).
+func (c *Config) Figure10() error {
+	f := c.Scale.sizeFactor()
+	return c.incremental("Figure 10: Incremental input data over Adult",
+		[]float64{0.5, 0.75, 1.0},
+		func(frac float64, seed int64) (*Instance, error) {
+			spec := NewInstanceSpec("adult", seed)
+			spec.InputSize = int(40000 * f * frac)
+			spec.MasterSize = int(5000 * f)
+			return c.BuildInstance(spec)
+		})
+}
+
+// Figure11 reproduces incremental master-data discovery (paper Figure 11).
+func (c *Config) Figure11() error {
+	f := c.Scale.sizeFactor()
+	return c.incremental("Figure 11: Incremental master data over Adult",
+		[]float64{0.5, 0.75, 1.0},
+		func(frac float64, seed int64) (*Instance, error) {
+			spec := NewInstanceSpec("adult", seed)
+			spec.InputSize = int(40000 * f)
+			spec.MasterSize = int(5000 * f * frac)
+			return c.BuildInstance(spec)
+		})
+}
+
+// Figure12 reproduces the training/inference cost report (paper
+// Figure 12): per dataset, the from-scratch training cost, the fine-tune
+// cost, and the inference cost of RLMiner.
+func (c *Config) Figure12() error {
+	t := report.NewTable("Figure 12: Training and inference time of RLMiner",
+		"Dataset", "Train steps", "Train time (s)",
+		"Fine-tune steps", "Fine-tune time (s)",
+		"Inference steps", "Inference time (s)")
+	for _, name := range []string{"adult", "covid", "nursery", "location"} {
+		inst, err := c.BuildInstance(NewInstanceSpec(name, c.Seed))
+		if err != nil {
+			return err
+		}
+		scratch := rlminer.New(rlminer.Config{
+			TrainSteps: c.Scale.trainSteps(),
+			Seed:       c.Seed,
+		})
+		if _, err := scratch.Mine(inst.Problem); err != nil {
+			return err
+		}
+		ss := scratch.Stats()
+
+		// Fine-tune on a freshly enriched instance.
+		inst2, err := c.BuildInstance(NewInstanceSpec(name, c.Seed+7))
+		if err != nil {
+			return err
+		}
+		ft := rlminer.New(rlminer.Config{Seed: c.Seed + 7})
+		if _, err := ft.MineFineTuned(inst2.Problem, scratch); err != nil {
+			return err
+		}
+		fs := ft.Stats()
+
+		t.AddRow(name,
+			fmt.Sprintf("%d", ss.TrainSteps),
+			fmt.Sprintf("%.2f", ss.TrainTime.Seconds()),
+			fmt.Sprintf("%d", fs.TrainSteps),
+			fmt.Sprintf("%.2f", fs.TrainTime.Seconds()),
+			fmt.Sprintf("%d", ss.InferenceSteps),
+			fmt.Sprintf("%.3f", ss.InferTime.Seconds()))
+	}
+	t.Render(c.Out)
+	return nil
+}

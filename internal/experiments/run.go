@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runners maps experiment names to their drivers on a Config.
+func (c *Config) Runners() map[string]func() error {
+	return map[string]func() error{
+		"tableI":   c.TableI,
+		"tableII":  c.TableII,
+		"tableIII": c.TableIII,
+		"figure2":  c.Figure2,
+		"figure6":  c.Figure6,
+		"figure7":  c.Figure7,
+		"figure8":  c.Figure8,
+		"figure9":  c.Figure9,
+		"figure10": c.Figure10,
+		"figure11": c.Figure11,
+		"figure12": c.Figure12,
+		// Supplementary (not numbered paper artifacts):
+		"curve":       c.LearningCurve,
+		"ablation":    c.Ablation,
+		"scalability": c.Scalability,
+	}
+}
+
+// Names returns the experiment names in presentation order.
+func Names() []string {
+	return []string{
+		"tableI", "tableII", "tableIII",
+		"figure2", "figure6", "figure7", "figure8", "figure9",
+		"figure10", "figure11", "figure12",
+	}
+}
+
+// Run dispatches one experiment by name; "all" runs every experiment in
+// presentation order.
+func (c *Config) Run(name string) error {
+	runners := c.Runners()
+	if name == "all" {
+		for _, n := range Names() {
+			fmt.Fprintf(c.Out, "\n=== %s ===\n", n)
+			if err := runners[n](); err != nil {
+				return fmt.Errorf("experiments: %s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	r, ok := runners[name]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v, all)", name, known)
+	}
+	return r()
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"erminer/internal/core"
+	"erminer/internal/datagen"
+	"erminer/internal/metrics"
+	"erminer/internal/report"
+)
+
+// TableI reproduces the dataset summary (paper Table I): schema widths
+// and tuple counts of the four datasets at the configured scale.
+func (c *Config) TableI() error {
+	t := report.NewTable("Table I: Dataset summary", "Dataset", "#A", "#A_m", "#Input", "#Master")
+	for _, name := range datagen.AllNames() {
+		inst, err := c.BuildInstance(NewInstanceSpec(name, c.Seed))
+		if err != nil {
+			return err
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%d", inst.Problem.Input.Schema().Len()),
+			fmt.Sprintf("%d", inst.Problem.Master.Schema().Len()),
+			fmt.Sprintf("%d", inst.Problem.Input.NumRows()),
+			fmt.Sprintf("%d", inst.Problem.Master.NumRows()))
+	}
+	t.Render(c.Out)
+	return nil
+}
+
+// ruleLengthStats summarises LHS and pattern lengths over a rule set.
+type ruleLengthStats struct {
+	lhsMean, lhsStd float64
+	lhsMax, lhsMin  int
+	patMean, patStd float64
+	patMax, patMin  int
+}
+
+func lengthStats(rules []core.MinedRule) ruleLengthStats {
+	if len(rules) == 0 {
+		return ruleLengthStats{}
+	}
+	var lhs, pat []float64
+	s := ruleLengthStats{lhsMin: 1 << 30, patMin: 1 << 30}
+	for _, r := range rules {
+		l, p := len(r.Rule.LHS), len(r.Rule.Pattern)
+		lhs = append(lhs, float64(l))
+		pat = append(pat, float64(p))
+		if l > s.lhsMax {
+			s.lhsMax = l
+		}
+		if l < s.lhsMin {
+			s.lhsMin = l
+		}
+		if p > s.patMax {
+			s.patMax = p
+		}
+		if p < s.patMin {
+			s.patMin = p
+		}
+	}
+	s.lhsMean, s.lhsStd = metrics.MeanStd(lhs)
+	s.patMean, s.patStd = metrics.MeanStd(pat)
+	return s
+}
+
+// TableII reproduces the rule-length statistics (paper Table II): mean ±
+// std and max/min of the number of LHS attribute pairs and pattern
+// conditions in the rules each method discovers, per dataset.
+func (c *Config) TableII() error {
+	t := report.NewTable("Table II: Statistics on rule length",
+		"Dataset", "Method", "#LHS (mean±std)", "#LHS (max/min)",
+		"#Pattern (mean±std)", "#Pattern (max/min)")
+	methods := []Method{MethodCTANE, MethodEnuMiner, MethodRLMiner}
+	for _, name := range datagen.AllNames() {
+		inst, err := c.BuildInstance(NewInstanceSpec(name, c.Seed))
+		if err != nil {
+			return err
+		}
+		for _, m := range methods {
+			res, err := c.RunOne(inst, m, c.Seed)
+			if err != nil {
+				return err
+			}
+			s := lengthStats(res.Rules)
+			if len(res.Rules) == 0 {
+				t.AddRow(name, string(m), "-", "-", "-", "-")
+				continue
+			}
+			t.AddRow(name, string(m),
+				fmt.Sprintf("%.2f ± %.2f", s.lhsMean, s.lhsStd),
+				fmt.Sprintf("%d / %d", s.lhsMax, s.lhsMin),
+				fmt.Sprintf("%.2f ± %.2f", s.patMean, s.patStd),
+				fmt.Sprintf("%d / %d", s.patMax, s.patMin))
+		}
+	}
+	t.Render(c.Out)
+	return nil
+}
+
+// TableIII reproduces the repair-quality comparison (paper Table III):
+// weighted precision / recall / F-measure of each method on each dataset,
+// mean ± std over repeated runs with different samples and error seeds.
+func (c *Config) TableIII() error {
+	t := report.NewTable("Table III: Repair results compared to baselines",
+		"Dataset", "Method", "Precision", "Recall", "F1")
+	methods := []Method{MethodCTANE, MethodEnuMiner, MethodRLMiner}
+	for _, name := range datagen.AllNames() {
+		for _, m := range methods {
+			var runs []metrics.PRF
+			for i := 0; i < c.repeats(); i++ {
+				seed := c.Seed + int64(i)*101
+				inst, err := c.BuildInstance(NewInstanceSpec(name, seed))
+				if err != nil {
+					return err
+				}
+				res, err := c.RunOne(inst, m, seed)
+				if err != nil {
+					return err
+				}
+				runs = append(runs, res.PRF)
+			}
+			s := metrics.Summarise(runs)
+			t.AddRow(name, string(m),
+				fmt.Sprintf("%.2f ± %.2f", s.Precision, s.PrecisionStd),
+				fmt.Sprintf("%.2f ± %.2f", s.Recall, s.RecallStd),
+				fmt.Sprintf("%.2f ± %.2f", s.F1, s.F1Std))
+		}
+	}
+	t.Render(c.Out)
+	return nil
+}

@@ -1,0 +1,481 @@
+package mdp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"erminer/internal/core"
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/schema"
+)
+
+// envFixture builds a precisely controlled problem:
+//
+//	input/master: A (2 values, determines Y), B (2 values, random wrt Y),
+//	              G (input-only; g0 exactly when B = b1), Y
+//	20 rows; η_s = 5.
+//
+// Properties used in the tests:
+//   - rule (A) → Y has S = 20, C = 1, Q = 1: valid AND certain;
+//   - rule (B) → Y has C < 1: valid and refinable;
+//   - pattern B=b0 co-occurs with G=g0 on zero rows.
+func envFixture(t testing.TB) *core.Problem {
+	t.Helper()
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b"},
+		relation.Attribute{Name: "G"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	for i := 0; i < 20; i++ {
+		a := i % 2
+		b := (i / 2) % 2
+		g := "g1"
+		if b == 1 {
+			g = "g0"
+		}
+		y := fmt.Sprintf("y%d", a)
+		input.AppendRow([]string{fmt.Sprintf("a%d", a), fmt.Sprintf("b%d", b), g, y})
+		master.AppendRow([]string{fmt.Sprintf("a%d", a), fmt.Sprintf("b%d", b), y})
+	}
+	return &core.Problem{
+		Input:            input,
+		Master:           master,
+		Match:            schema.AutoMatch(in, ms),
+		Y:                3,
+		Ym:               2,
+		SupportThreshold: 5,
+		TopK:             10,
+	}
+}
+
+// dims resolves the environment's action indices by semantic identity.
+func dims(t testing.TB, e *Env) (lhsA, lhsB, condB0, condG0 int) {
+	t.Helper()
+	lhsA, lhsB, condB0, condG0 = -1, -1, -1, -1
+	s := e.Space()
+	for d := 0; d < s.NumLHS(); d++ {
+		switch s.LHSPairs[d].Input {
+		case 0:
+			lhsA = d
+		case 1:
+			lhsB = d
+		}
+	}
+	in := e.Evaluator().Input()
+	b0, _ := in.Dict(1).Lookup("b0")
+	g0, _ := in.Dict(2).Lookup("g0")
+	for d := s.NumLHS(); d < s.Dim(); d++ {
+		u := s.Unit(d)
+		if u.Cond.Attr == 1 && u.Cond.Matches(b0) {
+			condB0 = d
+		}
+		if u.Cond.Attr == 2 && u.Cond.Matches(g0) {
+			condG0 = d
+		}
+	}
+	if lhsA < 0 || lhsB < 0 || condB0 < 0 || condG0 < 0 {
+		t.Fatalf("fixture dims not found: %d %d %d %d", lhsA, lhsB, condB0, condG0)
+	}
+	return
+}
+
+func TestEnvDimensions(t *testing.T) {
+	e, err := NewEnv(envFixture(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s_l: A and B matched (G input-only, Y excluded) = 2 dims.
+	// s_p: A 2 values + B 2 values + G 2 values = 6 dims... minus any
+	// pruned by MinValueCount (all counts are 10 ≥ 5, none pruned).
+	if e.Space().NumLHS() != 2 {
+		t.Errorf("NumLHS = %d, want 2", e.Space().NumLHS())
+	}
+	if e.StateDim() != 8 {
+		t.Errorf("StateDim = %d, want 8", e.StateDim())
+	}
+	if e.ActionDim() != 9 || e.StopAction() != 8 {
+		t.Errorf("ActionDim = %d, StopAction = %d", e.ActionDim(), e.StopAction())
+	}
+}
+
+func TestEnvResetState(t *testing.T) {
+	e, err := NewEnv(envFixture(t), Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, mask := e.Reset()
+	for i, v := range state {
+		if v != 0 {
+			t.Errorf("root state[%d] = %g", i, v)
+		}
+	}
+	for i, ok := range mask {
+		if !ok {
+			t.Errorf("root mask[%d] = false", i)
+		}
+	}
+	if e.Done() || e.EpisodeSteps() != 0 {
+		t.Error("fresh episode not clean")
+	}
+}
+
+func TestStopRewardAndTermination(t *testing.T) {
+	e, err := NewEnv(envFixture(t), Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop at the root with an empty queue terminates the episode with
+	// reward θ.
+	res := e.Step(e.StopAction())
+	if res.Reward != 0.01 {
+		t.Errorf("stop reward = %g, want θ = 0.01", res.Reward)
+	}
+	if !res.Done || !e.Done() {
+		t.Error("stop on empty queue should end the episode")
+	}
+	// Stepping a done episode is a no-op.
+	res2 := e.Step(0)
+	if !res2.Done || res2.Reward != 0 {
+		t.Errorf("step after done = %+v", res2)
+	}
+}
+
+func TestValidRuleRewardWithShaping(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsA, _, _, _ := dims(t, e)
+	res := e.Step(lhsA)
+	// U(A) = (ln 20)²·(1+1) = MaxUtility(20), so the normalised base
+	// reward is 1. The root had no children, so the first-expansion
+	// shaping doubles it: r = 1 + (1 − 0) = 2.
+	if math.Abs(res.Reward-2.0) > 1e-9 {
+		t.Errorf("shaped reward = %g, want 2.0", res.Reward)
+	}
+	found := e.Found()
+	if len(found) != 1 || found[0].Measures.Support != 20 {
+		t.Errorf("found = %+v", found)
+	}
+}
+
+func TestShapingDisabled(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true, DisableShaping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsA, _, _, _ := dims(t, e)
+	res := e.Step(lhsA)
+	if math.Abs(res.Reward-1.0) > 1e-9 {
+		t.Errorf("unshaped reward = %g, want 1.0", res.Reward)
+	}
+}
+
+func TestRawRewardWithoutNormalisation(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true, DisableNormalize: true, DisableShaping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsA, _, _, _ := dims(t, e)
+	res := e.Step(lhsA)
+	want := measure.MaxUtility(20)
+	if math.Abs(res.Reward-want) > 1e-9 {
+		t.Errorf("raw reward = %g, want %g", res.Reward, want)
+	}
+}
+
+func TestCertainRuleNotDescended(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsA, _, _, _ := dims(t, e)
+	res := e.Step(lhsA)
+	// The (A) rule is certain: the walk must stay at the root, so the
+	// next state is still all-zero.
+	for i, v := range res.State {
+		if v != 0 {
+			t.Errorf("state[%d] = %g after certain child, want root", i, v)
+		}
+	}
+	// Global mask: regenerating the same rule must now be masked.
+	if res.Mask[lhsA] {
+		t.Error("global mask did not block the regenerated rule")
+	}
+}
+
+func TestGlobalMaskDisabled(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true, DisableGlobalMask: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsA, _, _, _ := dims(t, e)
+	res := e.Step(lhsA)
+	if !res.Mask[lhsA] {
+		t.Error("global mask active despite DisableGlobalMask")
+	}
+}
+
+func TestRefinableRuleDescends(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lhsB, _, _ := dims(t, e)
+	res := e.Step(lhsB)
+	// The (B) rule has C < 1: the walk descends into it.
+	if res.State[lhsB] != 1 {
+		t.Error("did not descend into refinable child")
+	}
+	// Local mask: B's LHS dim and nothing else on the LHS side.
+	if res.Mask[lhsB] {
+		t.Error("local mask allows re-adding B")
+	}
+}
+
+func TestLocalMaskAfterCondition(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, condB0, _ := dims(t, e)
+	res := e.Step(condB0)
+	// The pattern-only child (cover 10 ≥ η_s) is refinable: descend.
+	if res.State[condB0] != 1 {
+		t.Fatal("did not descend into pattern-only child")
+	}
+	// All pattern dims on attribute B must be masked now.
+	for _, d := range e.Space().UnitDims(1) {
+		if res.Mask[d] {
+			t.Errorf("unit dim %d on conditioned attribute allowed", d)
+		}
+	}
+	// But B's LHS dim stays allowed (pattern and LHS may overlap).
+	_, lhsB, _, _ := dims(t, e)
+	if !res.Mask[lhsB] {
+		t.Error("LHS dim masked by a pattern condition")
+	}
+}
+
+func TestEmptyLHSReward(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, condB0, _ := dims(t, e)
+	res := e.Step(condB0)
+	// A pattern-only rule has no LHS: reward is the invalid constant.
+	if res.Reward != -0.01 {
+		t.Errorf("empty-LHS reward = %g, want -0.01", res.Reward)
+	}
+	if len(e.Found()) != 0 {
+		t.Error("pattern-only node counted as discovered")
+	}
+}
+
+func TestDeadEndChildStays(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, condB0, condG0 := dims(t, e)
+	e.Step(condB0) // descend into pattern B=b0 (10 rows)
+	res := e.Step(condG0)
+	// B=b0 ∧ G=g0 covers zero rows: dead child, the walk stays.
+	if res.State[condG0] != 0 {
+		t.Error("descended into a dead child")
+	}
+	if res.Reward != -0.01 {
+		t.Errorf("dead child reward = %g, want -0.01", res.Reward)
+	}
+}
+
+func TestRewardCacheReuse(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsA, _, _, _ := dims(t, e)
+	e.Step(lhsA)
+	evals := e.Evaluator().Stats.Evaluations
+	e.Reset()
+	e.Step(lhsA)
+	if got := e.Evaluator().Stats.Evaluations; got != evals {
+		t.Errorf("rule re-evaluated despite cache: %d -> %d", evals, got)
+	}
+	// With the cache disabled, the count grows.
+	e2, err := NewEnv(p, Config{DisableSeedSingletons: true, DisableRewardCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsA2, _, _, _ := dims(t, e2)
+	e2.Step(lhsA2)
+	evals2 := e2.Evaluator().Stats.Evaluations
+	e2.Reset()
+	e2.Step(lhsA2)
+	if got := e2.Evaluator().Stats.Evaluations; got <= evals2 {
+		t.Error("DisableRewardCache did not force re-evaluation")
+	}
+}
+
+func TestEpisodeEndsAtK(t *testing.T) {
+	p := envFixture(t)
+	p.TopK = 1
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsA, _, _, _ := dims(t, e)
+	res := e.Step(lhsA)
+	if !res.Done {
+		t.Error("episode did not end after K discovered rules")
+	}
+}
+
+func TestEpisodeStepBudget(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true, MaxEpisodeSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lhsB, condB0, _ := dims(t, e)
+	if res := e.Step(lhsB); res.Done {
+		t.Fatal("ended after 1 step with budget 2")
+	}
+	if res := e.Step(condB0); !res.Done {
+		t.Error("episode exceeded MaxEpisodeSteps")
+	}
+}
+
+func TestAllFoundPersistsAcrossEpisodes(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsA, lhsB, _, _ := dims(t, e)
+	e.Step(lhsA)
+	e.Reset()
+	e.Step(lhsB)
+	if len(e.Found()) != 1 {
+		t.Errorf("per-episode found = %d, want 1", len(e.Found()))
+	}
+	if len(e.AllFound()) != 2 {
+		t.Errorf("all found = %d, want 2", len(e.AllFound()))
+	}
+	// Sorted by utility descending.
+	af := e.AllFound()
+	for i := 1; i < len(af); i++ {
+		if af[i].Measures.Utility > af[i-1].Measures.Utility {
+			t.Error("AllFound not sorted")
+		}
+	}
+}
+
+func TestStopMovesToQueuedNode(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{DisableSeedSingletons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lhsB, _, _ := dims(t, e)
+	e.Step(lhsB) // descend into (B); (B) is also queued
+	res := e.Step(e.StopAction())
+	if res.Done {
+		t.Fatal("queue should not be empty")
+	}
+	// Level-order: the only queued node is (B) itself.
+	if res.State[lhsB] != 1 {
+		t.Error("stop did not move to the queued node")
+	}
+}
+
+func TestEmptySpaceRejected(t *testing.T) {
+	p := envFixture(t)
+	p.Match = schema.NewMatch() // nothing matched
+	p.Match.Add(p.Y, p.Ym)      // only the dependent pair
+	if _, err := NewEnv(p, Config{Space: core.SpaceConfig{MinValueCount: 10000}}); err == nil {
+		t.Fatal("empty refinement space accepted")
+	}
+}
+
+func TestInvalidProblemRejected(t *testing.T) {
+	if _, err := NewEnv(&core.Problem{}, Config{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+// TestSeedSingletons: by default every episode starts with the first
+// lattice level pre-expanded — the singleton-LHS rules are discovered,
+// the refinable ones queued, and their actions globally masked.
+func TestSeedSingletons(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, mask := e.Reset()
+	// The walk still starts at the root...
+	for i, v := range state {
+		if v != 0 {
+			t.Fatalf("state[%d] = %g, want root", i, v)
+		}
+	}
+	// ...but both singleton rules exist: (A) certain+valid, (B) valid.
+	if got := len(e.Found()); got != 2 {
+		t.Fatalf("found %d singleton rules, want 2", got)
+	}
+	// Their LHS actions are globally masked at the root.
+	lhsA, lhsB, _, _ := dims(t, e)
+	if mask[lhsA] || mask[lhsB] {
+		t.Error("seeded singleton actions not masked")
+	}
+	// (B) is refinable and queued: stop moves to it instead of ending.
+	res := e.Step(e.StopAction())
+	if res.Done {
+		t.Fatal("queue empty despite seeded refinable singleton")
+	}
+	if res.State[lhsB] != 1 {
+		t.Error("stop did not move to the queued singleton")
+	}
+	// Seeding costs no episode steps.
+	if e.EpisodeSteps() != 1 {
+		t.Errorf("episode steps = %d, want 1 (the stop)", e.EpisodeSteps())
+	}
+}
+
+// TestSeedSingletonsCached: the second episode's seeding is served from
+// the reward cache.
+func TestSeedSingletonsCached(t *testing.T) {
+	p := envFixture(t)
+	e, err := NewEnv(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := e.Evaluator().Stats.Evaluations
+	e.Reset()
+	if got := e.Evaluator().Stats.Evaluations; got != evals {
+		t.Errorf("re-seeding re-evaluated rules: %d -> %d", evals, got)
+	}
+}

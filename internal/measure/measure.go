@@ -1,0 +1,307 @@
+// Package measure implements the utility measures of paper §II-B —
+// Support (Eq. 1), Certainty (Eq. 2–3), Quality (Eq. 4–5) and the
+// combined Utility U(φ) = (log S)² · (C + Q) — together with the
+// evaluation machinery both miners share:
+//
+//   - a master-side index per LHS master-attribute list, mapping the
+//     joined X_m key to a histogram of Y_m values (built once and cached,
+//     so Certainty is computed per X-key group rather than per tuple);
+//   - cover-based subspace search (Alg. 4 lines 9–10): a child rule is
+//     evaluated only over the input tuples covered by its parent's
+//     pattern.
+package measure
+
+import (
+	"math"
+
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+)
+
+// Measures aggregates the paper's rule measures for one rule.
+type Measures struct {
+	// Support is S(φ): the number of input tuples with f_s(φ, t) = 1.
+	Support int
+	// Certainty is C(φ) ∈ [0, 1]: the mean of f_c over covered tuples.
+	Certainty float64
+	// Quality is Q(φ) ∈ [-1, 1]: the mean of κ over covered tuples.
+	Quality float64
+	// Utility is U(φ) = (log S)² · (C + Q).
+	Utility float64
+	// PatternCover lists the input rows matching t_p (within the parent
+	// cover the rule was evaluated on). It is the cover handed to child
+	// rules for subspace search.
+	PatternCover []int32
+}
+
+// Hist is the Y_m-value histogram of one X_m-key group of the master data,
+// i.e. the multiset Cand(t, φ) shared by every input tuple with the same
+// t[X] values.
+type Hist struct {
+	Counts map[int32]int
+	Total  int
+	// Max is max_v count(v); Arg is the corresponding value. Ties break
+	// toward the smaller code for determinism.
+	Max int
+	Arg int32
+}
+
+func (h *Hist) add(v int32) {
+	h.Counts[v]++
+	h.Total++
+	if c := h.Counts[v]; c > h.Max || (c == h.Max && v < h.Arg) {
+		h.Max = c
+		h.Arg = v
+	}
+}
+
+// Certainty returns f_c for tuples in this group: max count / total count.
+func (h *Hist) Certainty() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Max) / float64(h.Total)
+}
+
+// masterIndex maps the encoded X_m key to the Y_m histogram of the
+// matching master tuples.
+type masterIndex map[string]*Hist
+
+// Evaluator evaluates rules over a fixed (input, master, truth) triple.
+// It caches master indexes keyed by the master attribute list, which is
+// what makes repeated evaluation across thousands of candidate rules
+// tractable (DESIGN.md decision 2).
+//
+// An Evaluator is not safe for concurrent use.
+type Evaluator struct {
+	input  *relation.Relation
+	master *relation.Relation
+	// truth[i] is the ground-truth code of input tuple i on the
+	// dependent attribute Y. When no labelled data is available the
+	// caller passes the observed (possibly dirty) Y column, yielding the
+	// paper's approximate Quality measure (§II-B3).
+	truth []int32
+
+	indexes map[string]masterIndex
+	// keyBuf is reused across key constructions to avoid allocation.
+	keyBuf []byte
+
+	// Stats counts evaluator work for the ablation benchmarks.
+	Stats Stats
+}
+
+// Stats counts evaluator work.
+type Stats struct {
+	// Evaluations is the number of Evaluate calls.
+	Evaluations int
+	// IndexBuilds is the number of master indexes built (cache misses).
+	IndexBuilds int
+	// TuplesScanned is the total number of input tuples visited.
+	TuplesScanned int
+}
+
+// NewEvaluator builds an evaluator. truth may be nil, in which case the
+// observed Y column of the input is used per dependent attribute at
+// evaluation time (approximate Quality).
+func NewEvaluator(input, master *relation.Relation, truth []int32) *Evaluator {
+	return &Evaluator{
+		input:   input,
+		master:  master,
+		truth:   truth,
+		indexes: make(map[string]masterIndex),
+	}
+}
+
+// Input returns the input relation the evaluator reads.
+func (e *Evaluator) Input() *relation.Relation { return e.input }
+
+// Master returns the master relation the evaluator reads.
+func (e *Evaluator) Master() *relation.Relation { return e.master }
+
+// index returns the master index for the rule's LHS master attributes and
+// dependent master attribute, building and caching it on first use.
+func (e *Evaluator) index(r *rule.Rule) masterIndex {
+	e.keyBuf = e.keyBuf[:0]
+	for _, p := range r.LHS {
+		e.keyBuf = appendCode(e.keyBuf, int32(p.Master))
+	}
+	e.keyBuf = appendCode(e.keyBuf, int32(r.Ym))
+	cacheKey := string(e.keyBuf)
+	if idx, ok := e.indexes[cacheKey]; ok {
+		return idx
+	}
+
+	e.Stats.IndexBuilds++
+	idx := make(masterIndex)
+	m := e.master
+	var buf []byte
+	for row := 0; row < m.NumRows(); row++ {
+		y := m.Code(row, r.Ym)
+		if y == relation.Null {
+			continue
+		}
+		buf = buf[:0]
+		ok := true
+		for _, p := range r.LHS {
+			c := m.Code(row, p.Master)
+			if c == relation.Null {
+				ok = false
+				break
+			}
+			buf = appendCode(buf, c)
+		}
+		if !ok {
+			continue
+		}
+		h := idx[string(buf)]
+		if h == nil {
+			h = &Hist{Counts: make(map[int32]int)}
+			idx[string(buf)] = h
+		}
+		h.add(y)
+	}
+	e.indexes[cacheKey] = idx
+	return idx
+}
+
+func appendCode(b []byte, c int32) []byte {
+	return append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+}
+
+// inputKey encodes t[X] for the rule's LHS; ok is false when any LHS cell
+// is Null (a tuple with a missing LHS value cannot match any master tuple).
+func (e *Evaluator) inputKey(r *rule.Rule, row int) (string, bool) {
+	e.keyBuf = e.keyBuf[:0]
+	for _, p := range r.LHS {
+		c := e.input.Code(row, p.Input)
+		if c == relation.Null {
+			return "", false
+		}
+		e.keyBuf = appendCode(e.keyBuf, c)
+	}
+	return string(e.keyBuf), true
+}
+
+// Candidates returns the candidate-fix histogram Cand(t, φ) for input row,
+// or ok=false when the tuple does not match t_p or joins no master tuple.
+func (e *Evaluator) Candidates(r *rule.Rule, row int) (*Hist, bool) {
+	if len(r.LHS) == 0 || !r.MatchesPattern(e.input, row) {
+		return nil, false
+	}
+	key, ok := e.inputKey(r, row)
+	if !ok {
+		return nil, false
+	}
+	h, ok := e.index(r)[key]
+	return h, ok
+}
+
+// truthCode returns the ground-truth Y code for input row.
+func (e *Evaluator) truthCode(r *rule.Rule, row int) int32 {
+	if e.truth != nil {
+		return e.truth[row]
+	}
+	return e.input.Code(row, r.Y)
+}
+
+// Evaluate computes the rule's measures over the given parent cover
+// (nil means the whole input relation). The returned PatternCover is the
+// subset of the parent cover matching the rule's full pattern.
+//
+// A rule with an empty LHS has, by definition, no join with the master
+// data and is assigned zero support and utility; its pattern cover is
+// still computed so children can be evaluated on the subspace.
+func (e *Evaluator) Evaluate(r *rule.Rule, parentCover []int32) Measures {
+	e.Stats.Evaluations++
+	in := e.input
+
+	var cover []int32
+	if parentCover == nil {
+		cover = make([]int32, 0, in.NumRows())
+		for row := 0; row < in.NumRows(); row++ {
+			if r.MatchesPattern(in, row) {
+				cover = append(cover, int32(row))
+			}
+		}
+		e.Stats.TuplesScanned += in.NumRows()
+	} else {
+		cover = make([]int32, 0, len(parentCover))
+		for _, row := range parentCover {
+			if r.MatchesPattern(in, int(row)) {
+				cover = append(cover, row)
+			}
+		}
+		e.Stats.TuplesScanned += len(parentCover)
+	}
+
+	m := Measures{PatternCover: cover}
+	if len(r.LHS) == 0 {
+		return m
+	}
+
+	idx := e.index(r)
+	var sumC, sumK float64
+	for _, row := range cover {
+		key, ok := e.inputKey(r, int(row))
+		if !ok {
+			continue
+		}
+		h, ok := idx[key]
+		if !ok {
+			continue
+		}
+		m.Support++
+		sumC += h.Certainty()
+		if h.Arg == e.truthCode(r, int(row)) {
+			sumK++
+		} else {
+			sumK--
+		}
+	}
+	if m.Support > 0 {
+		m.Certainty = sumC / float64(m.Support)
+		m.Quality = sumK / float64(m.Support)
+		m.Utility = Utility(m.Support, m.Certainty, m.Quality)
+	}
+	return m
+}
+
+// PatternCover filters the parent cover (nil = all input rows) down to
+// the rows matching the rule's pattern, without evaluating measures. The
+// MDP environment uses it to rebuild a node's cover cheaply when the
+// rule's measures come from the reward cache R_Σ.
+func (e *Evaluator) PatternCover(r *rule.Rule, parentCover []int32) []int32 {
+	in := e.input
+	if parentCover == nil {
+		out := make([]int32, 0, in.NumRows())
+		for row := 0; row < in.NumRows(); row++ {
+			if r.MatchesPattern(in, row) {
+				out = append(out, int32(row))
+			}
+		}
+		return out
+	}
+	out := make([]int32, 0, len(parentCover))
+	for _, row := range parentCover {
+		if r.MatchesPattern(in, int(row)) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Utility computes U = (log S)² · (C + Q) (natural log, paper §II-B4).
+func Utility(support int, certainty, quality float64) float64 {
+	if support <= 0 {
+		return 0
+	}
+	l := math.Log(float64(support))
+	return l * l * (certainty + quality)
+}
+
+// MaxUtility returns the utility of a perfect rule covering all n input
+// tuples (C = 1, Q = 1). It is the normalisation constant used when the
+// RL reward is scaled to roughly [-1, 1] for DQN stability.
+func MaxUtility(n int) float64 {
+	return Utility(n, 1, 1)
+}

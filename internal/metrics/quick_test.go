@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// clampCodes folds arbitrary int32s into a small label space with some
+// Nulls, so the property tests exercise realistic class structure.
+func clampCodes(xs []int32) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		v := x % 5
+		if v < 0 {
+			v = -1 // Null
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Property: weighted P/R/F1 always lie in [0, 1], for any prediction and
+// truth vectors.
+func TestWeightedBoundsProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		codes := clampCodes(raw)
+		// Split the vector in two halves as pred/truth of equal length.
+		n := len(codes) / 2
+		pred, truth := codes[:n], codes[n:2*n]
+		got := Weighted(pred, truth)
+		for _, v := range []float64{got.Precision, got.Recall, got.F1} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: perfect predictions always score 1/1/1 (when any non-Null
+// truth exists).
+func TestWeightedPerfectProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		truth := clampCodes(raw)
+		hasTruth := false
+		for _, v := range truth {
+			if v >= 0 {
+				hasTruth = true
+			}
+		}
+		got := Weighted(truth, truth)
+		if !hasTruth {
+			return got == (PRF{})
+		}
+		return got.Precision == 1 && got.Recall == 1 && got.F1 == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: recall never exceeds the covered fraction... more precisely,
+// withholding predictions can only lower recall, never precision of the
+// remaining classes' counts beyond bounds. We check the simpler
+// monotonicity: masking one prediction never increases recall.
+func TestWeightedMaskingMonotoneProperty(t *testing.T) {
+	f := func(raw []int32, maskIdx uint8) bool {
+		codes := clampCodes(raw)
+		n := len(codes) / 2
+		if n == 0 {
+			return true
+		}
+		pred := append([]int32(nil), codes[:n]...)
+		truth := codes[n : 2*n]
+		before := Weighted(pred, truth).Recall
+		pred[int(maskIdx)%n] = -1
+		after := Weighted(pred, truth).Recall
+		return after <= before+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

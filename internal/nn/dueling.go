@@ -1,0 +1,131 @@
+package nn
+
+import "math/rand"
+
+// Dueling is the dueling network architecture (Wang et al. 2016), one of
+// the DQN variants the paper's §III-C5 alludes to: a shared feature
+// trunk feeds two heads, a scalar state-value V(s) and per-action
+// advantages A(s, a), combined as
+//
+//	Q(s, a) = V(s) + A(s, a) − mean_a' A(s, a').
+//
+// Separating value from advantage stabilises learning when many actions
+// have similar values — common in rule discovery, where most refinements
+// of a bad rule are equally bad.
+type Dueling struct {
+	trunk     *MLP
+	valueHead *Dense
+	advHead   *Dense
+	actions   int
+	sizes     []int
+
+	// Cached forward state for Backward.
+	feats *Matrix
+	adv   *Matrix
+}
+
+// NewDueling builds a dueling network: inputs → hidden... → (V, A).
+// sizes lists input and hidden widths; actions is the output count.
+func NewDueling(rng *rand.Rand, actions int, sizes ...int) *Dueling {
+	if len(sizes) < 2 {
+		panic("nn: NewDueling needs input and at least one hidden size")
+	}
+	// The trunk ends with a ReLU so both heads see rectified features.
+	trunk := &MLP{sizes: append([]int(nil), sizes...)}
+	for i := 0; i+1 < len(sizes); i++ {
+		trunk.layers = append(trunk.layers, NewDense(rng, sizes[i], sizes[i+1]), &ReLU{})
+	}
+	h := sizes[len(sizes)-1]
+	return &Dueling{
+		trunk:     trunk,
+		valueHead: NewDense(rng, h, 1),
+		advHead:   NewDense(rng, h, actions),
+		actions:   actions,
+		sizes:     append([]int(nil), sizes...),
+	}
+}
+
+// Forward computes Q-values for a batch.
+func (d *Dueling) Forward(x *Matrix) *Matrix {
+	d.feats = d.trunk.Forward(x)
+	v := d.valueHead.Forward(d.feats)
+	d.adv = d.advHead.Forward(d.feats)
+
+	out := NewMatrix(x.Rows, d.actions)
+	for r := 0; r < x.Rows; r++ {
+		mean := 0.0
+		arow := d.adv.Row(r)
+		for _, a := range arow {
+			mean += a
+		}
+		mean /= float64(d.actions)
+		orow := out.Row(r)
+		for j, a := range arow {
+			orow[j] = v.At(r, 0) + a - mean
+		}
+	}
+	return out
+}
+
+// Predict runs a single input vector.
+func (d *Dueling) Predict(v []float64) []float64 {
+	return d.Forward(FromRow(v)).Row(0)
+}
+
+// Backward backpropagates dL/dQ through both heads and the trunk.
+func (d *Dueling) Backward(gradQ *Matrix) {
+	// dQ/dV = 1 per action; dQ/dA_j = δ_ij − 1/n.
+	gradV := NewMatrix(gradQ.Rows, 1)
+	gradA := NewMatrix(gradQ.Rows, d.actions)
+	for r := 0; r < gradQ.Rows; r++ {
+		sum := 0.0
+		grow := gradQ.Row(r)
+		for _, g := range grow {
+			sum += g
+		}
+		gradV.Set(r, 0, sum)
+		arow := gradA.Row(r)
+		for j, g := range grow {
+			arow[j] = g - sum/float64(d.actions)
+		}
+	}
+	gFeats := d.valueHead.Backward(gradV)
+	gFeats2 := d.advHead.Backward(gradA)
+	for i := range gFeats.Data {
+		gFeats.Data[i] += gFeats2.Data[i]
+	}
+	d.trunk.Backward(gFeats)
+}
+
+// Params returns all trainable parameters.
+func (d *Dueling) Params() []*Param {
+	out := d.trunk.Params()
+	out = append(out, d.valueHead.Params()...)
+	out = append(out, d.advHead.Params()...)
+	return out
+}
+
+// ZeroGrads clears all gradients.
+func (d *Dueling) ZeroGrads() {
+	for _, p := range d.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// Clone returns a deep copy (for target networks).
+func (d *Dueling) Clone() *Dueling {
+	c := NewDueling(rand.New(rand.NewSource(0)), d.actions, d.sizes...)
+	c.CopyFrom(d)
+	return c
+}
+
+// CopyFrom copies parameter values; architectures must match.
+func (d *Dueling) CopyFrom(other *Dueling) {
+	dp, op := d.Params(), other.Params()
+	if len(dp) != len(op) {
+		panic("nn: Dueling CopyFrom architecture mismatch")
+	}
+	for i := range dp {
+		copy(dp[i].Value.Data, op[i].Value.Data)
+	}
+}

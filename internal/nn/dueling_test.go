@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDuelingForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDueling(rng, 5, 3, 8)
+	x := randMatrix(rng, 4, 3)
+	out := d.Forward(x)
+	if out.Rows != 4 || out.Cols != 5 {
+		t.Fatalf("shape = %dx%d", out.Rows, out.Cols)
+	}
+}
+
+// TestDuelingIdentifiability: Q(s,·) = V + A − mean(A), so the mean of
+// the advantages cancels: adding a constant to all advantages leaves Q
+// unchanged. Check directly that mean-centering holds: Q − V has zero
+// mean per row... V isn't exposed; instead verify the gradient identity
+// by gradient checking below.
+func TestDuelingGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDueling(rng, 4, 3, 6)
+	x := randMatrix(rng, 2, 3)
+
+	loss := func() float64 {
+		out := d.Forward(x)
+		l := 0.0
+		for _, v := range out.Data {
+			l += v * v
+		}
+		return 0.5 * l
+	}
+
+	out := d.Forward(x)
+	d.ZeroGrads()
+	d.Backward(out.Clone())
+
+	const eps = 1e-6
+	for pi, p := range d.Params() {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lp := loss()
+			p.Value.Data[i] = orig - eps
+			lm := loss()
+			p.Value.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := p.Grad.Data[i]
+			if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("param %d[%d]: numeric %g vs analytic %g", pi, i, numeric, analytic)
+			}
+		}
+	}
+}
+
+func TestDuelingLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDueling(rng, 1, 2, 16)
+	opt := NewAdam(0.01)
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := []float64{0, 1, 1, 0}
+	x := NewMatrix(4, 2)
+	for i, v := range xs {
+		copy(x.Row(i), v)
+	}
+	var loss float64
+	for epoch := 0; epoch < 3000; epoch++ {
+		out := d.Forward(x)
+		grad := NewMatrix(4, 1)
+		loss = 0
+		for i := range ys {
+			e := out.At(i, 0) - ys[i]
+			loss += e * e
+			grad.Set(i, 0, e/4)
+		}
+		d.ZeroGrads()
+		d.Backward(grad)
+		opt.Step(d.Params())
+	}
+	if loss > 0.05 {
+		t.Errorf("dueling XOR loss = %g", loss)
+	}
+}
+
+func TestDuelingCloneAndCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewDueling(rng, 3, 2, 4)
+	b := a.Clone()
+	in := []float64{0.4, -0.1}
+	pa, pb := a.Predict(in), b.Predict(in)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("clone predicts differently")
+		}
+	}
+	a.Params()[0].Value.Data[0] += 1
+	if a.Predict(in)[0] == b.Predict(in)[0] {
+		t.Error("clone shares parameters")
+	}
+	b.CopyFrom(a)
+	if a.Predict(in)[0] != b.Predict(in)[0] {
+		t.Error("CopyFrom did not synchronise")
+	}
+}
+
+func TestDuelingTooFewSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	NewDueling(rand.New(rand.NewSource(5)), 2, 3)
+}

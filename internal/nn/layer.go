@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math/rand"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Value *Matrix
+	Grad  *Matrix
+}
+
+// Layer is one differentiable network stage. Forward caches whatever it
+// needs for Backward; Backward consumes the gradient w.r.t. its output
+// and returns the gradient w.r.t. its input, accumulating parameter
+// gradients along the way.
+type Layer interface {
+	Forward(x *Matrix) *Matrix
+	Backward(gradOut *Matrix) *Matrix
+	Params() []*Param
+}
+
+// Dense is a fully connected layer y = x·W + b.
+type Dense struct {
+	W, B *Param
+	x    *Matrix // cached input
+}
+
+// NewDense builds a Dense layer with Xavier-initialised weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	w := NewMatrix(in, out)
+	XavierFill(w, rng, in, out)
+	return &Dense{
+		W: &Param{Value: w, Grad: NewMatrix(in, out)},
+		B: &Param{Value: NewMatrix(1, out), Grad: NewMatrix(1, out)},
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Matrix) *Matrix {
+	d.x = x
+	out := MatMul(x, d.W.Value)
+	b := d.B.Value.Data
+	for r := 0; r < out.Rows; r++ {
+		row := out.Row(r)
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *Matrix) *Matrix {
+	// dW += xᵀ·gradOut ; db += column sums of gradOut ; dx = gradOut·Wᵀ.
+	gw := MatMulATB(d.x, gradOut)
+	for i, v := range gw.Data {
+		d.W.Grad.Data[i] += v
+	}
+	for r := 0; r < gradOut.Rows; r++ {
+		row := gradOut.Row(r)
+		for j, v := range row {
+			d.B.Grad.Data[j] += v
+		}
+	}
+	return MatMulABT(gradOut, d.W.Value)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Matrix) *Matrix {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *Matrix) *Matrix {
+	out := gradOut.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }

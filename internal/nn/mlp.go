@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// MLP is a multi-layer perceptron: Dense layers with ReLU activations
+// between them and a linear output layer — the architecture of the
+// paper's value network (Figure 5: DNN feature extractor z_t followed by
+// a linear layer producing the logits q_t).
+type MLP struct {
+	sizes  []int
+	layers []Layer
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g.
+// NewMLP(rng, 64, 128, 128, 10) for a 64-input, 10-output network with
+// two hidden layers of 128 units.
+func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, NewDense(rng, sizes[i], sizes[i+1]))
+		if i+2 < len(sizes) {
+			m.layers = append(m.layers, &ReLU{})
+		}
+	}
+	return m
+}
+
+// Sizes returns the layer sizes the network was built with.
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// Forward runs a batch through the network.
+func (m *MLP) Forward(x *Matrix) *Matrix {
+	for _, l := range m.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Predict runs a single input vector and returns the output vector.
+func (m *MLP) Predict(v []float64) []float64 {
+	out := m.Forward(FromRow(v))
+	return out.Row(0)
+}
+
+// Backward backpropagates the gradient of the loss w.r.t. the output,
+// accumulating parameter gradients. Forward must have been called first.
+func (m *MLP) Backward(gradOut *Matrix) {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		gradOut = m.layers[i].Backward(gradOut)
+	}
+}
+
+// Params returns all trainable parameters.
+func (m *MLP) Params() []*Param {
+	var out []*Param
+	for _, l := range m.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all parameter gradients.
+func (m *MLP) ZeroGrads() {
+	for _, p := range m.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// Clone returns a deep copy of the network (used for target networks).
+func (m *MLP) Clone() *MLP {
+	c := NewMLP(rand.New(rand.NewSource(0)), m.sizes...)
+	c.CopyFrom(m)
+	return c
+}
+
+// CopyFrom copies the other network's parameter values into this one.
+// The architectures must match.
+func (m *MLP) CopyFrom(other *MLP) {
+	mp, op := m.Params(), other.Params()
+	if len(mp) != len(op) {
+		panic("nn: CopyFrom architecture mismatch")
+	}
+	for i := range mp {
+		copy(mp[i].Value.Data, op[i].Value.Data)
+	}
+}
+
+// snapshot is the gob wire format of an MLP.
+type snapshot struct {
+	Sizes  []int
+	Values [][]float64
+}
+
+// Save serialises the network parameters.
+func (m *MLP) Save(w io.Writer) error {
+	s := snapshot{Sizes: m.sizes}
+	for _, p := range m.Params() {
+		s.Values = append(s.Values, append([]float64(nil), p.Value.Data...))
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("nn: saving MLP: %w", err)
+	}
+	return nil
+}
+
+// LoadMLP deserialises a network saved with Save.
+func LoadMLP(r io.Reader) (*MLP, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: loading MLP: %w", err)
+	}
+	m := NewMLP(rand.New(rand.NewSource(0)), s.Sizes...)
+	params := m.Params()
+	if len(params) != len(s.Values) {
+		return nil, fmt.Errorf("nn: snapshot has %d tensors, architecture needs %d",
+			len(s.Values), len(params))
+	}
+	for i, p := range params {
+		if len(p.Value.Data) != len(s.Values[i]) {
+			return nil, fmt.Errorf("nn: tensor %d size mismatch", i)
+		}
+		copy(p.Value.Data, s.Values[i])
+	}
+	return m, nil
+}

@@ -1,0 +1,343 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Error("Set/At broken")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 5 {
+		t.Errorf("Row = %v", row)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone shares storage")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Error("Zero failed")
+	}
+	fr := FromRow([]float64{1, 2})
+	if fr.Rows != 1 || fr.Cols != 2 || fr.At(0, 1) != 2 {
+		t.Errorf("FromRow = %+v", fr)
+	}
+}
+
+// naiveMul is the obvious triple loop used to validate the optimised
+// multiplication kernels.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func matEq(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func transpose(a *Matrix) *Matrix {
+	out := NewMatrix(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Set(j, i, a.At(i, j))
+		}
+	}
+	return out
+}
+
+func TestMatMulKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 4, 6)
+	b := randMatrix(rng, 6, 5)
+	if !matEq(MatMul(a, b), naiveMul(a, b), 1e-12) {
+		t.Error("MatMul disagrees with naive multiplication")
+	}
+	c := randMatrix(rng, 4, 5)
+	if !matEq(MatMulATB(a, c), naiveMul(transpose(a), c), 1e-12) {
+		t.Error("MatMulATB disagrees")
+	}
+	d := randMatrix(rng, 7, 5)
+	if !matEq(MatMulABT(c, d), naiveMul(c, transpose(d)), 1e-12) {
+		t.Error("MatMulABT disagrees")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(4, 5))
+}
+
+// TestGradientCheck compares the analytic gradients of an MLP against
+// central finite differences on a scalar loss L = Σ out².
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mlp := NewMLP(rng, 4, 6, 3)
+	x := randMatrix(rng, 2, 4)
+
+	loss := func() float64 {
+		out := mlp.Forward(x)
+		l := 0.0
+		for _, v := range out.Data {
+			l += v * v
+		}
+		return 0.5 * l
+	}
+
+	// Analytic gradients: dL/dout = out.
+	out := mlp.Forward(x)
+	mlp.ZeroGrads()
+	mlp.Backward(out.Clone())
+
+	const eps = 1e-6
+	for pi, p := range mlp.Params() {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lp := loss()
+			p.Value.Data[i] = orig - eps
+			lm := loss()
+			p.Value.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := p.Grad.Data[i]
+			if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("param %d[%d]: numeric %g vs analytic %g", pi, i, numeric, analytic)
+			}
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	x := FromRow([]float64{-1, 0, 2})
+	out := r.Forward(x)
+	want := []float64{0, 0, 2}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("ReLU out[%d] = %g", i, out.Data[i])
+		}
+	}
+	grad := r.Backward(FromRow([]float64{1, 1, 1}))
+	wantG := []float64{0, 1, 1}
+	for i, w := range wantG {
+		if grad.Data[i] != w {
+			t.Errorf("ReLU grad[%d] = %g", i, grad.Data[i])
+		}
+	}
+	if r.Params() != nil {
+		t.Error("ReLU has params")
+	}
+}
+
+// TestMLPLearnsXOR: a 2-layer network with Adam must fit XOR.
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mlp := NewMLP(rng, 2, 16, 1)
+	opt := NewAdam(0.01)
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := []float64{0, 1, 1, 0}
+
+	x := NewMatrix(4, 2)
+	for i, v := range xs {
+		copy(x.Row(i), v)
+	}
+	var loss float64
+	for epoch := 0; epoch < 2000; epoch++ {
+		out := mlp.Forward(x)
+		grad := NewMatrix(4, 1)
+		loss = 0
+		for i := range ys {
+			e := out.At(i, 0) - ys[i]
+			loss += e * e
+			grad.Set(i, 0, e/4)
+		}
+		mlp.ZeroGrads()
+		mlp.Backward(grad)
+		opt.Step(mlp.Params())
+	}
+	if loss > 0.05 {
+		t.Errorf("XOR loss after training = %g", loss)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mlp := NewMLP(rng, 1, 8, 1)
+	opt := NewSGD(0.05, 0.9)
+	// Fit y = 2x on [-1, 1].
+	x := NewMatrix(8, 1)
+	y := make([]float64, 8)
+	for i := 0; i < 8; i++ {
+		v := float64(i)/4 - 1
+		x.Set(i, 0, v)
+		y[i] = 2 * v
+	}
+	var loss float64
+	for epoch := 0; epoch < 3000; epoch++ {
+		out := mlp.Forward(x)
+		grad := NewMatrix(8, 1)
+		loss = 0
+		for i := range y {
+			e := out.At(i, 0) - y[i]
+			loss += e * e
+			grad.Set(i, 0, e/8)
+		}
+		mlp.ZeroGrads()
+		mlp.Backward(grad)
+		opt.Step(mlp.Params())
+	}
+	if loss > 0.05 {
+		t.Errorf("linear-fit loss = %g", loss)
+	}
+}
+
+func TestPredictMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mlp := NewMLP(rng, 3, 4, 2)
+	v := []float64{0.1, -0.2, 0.3}
+	p := mlp.Predict(v)
+	f := mlp.Forward(FromRow(v)).Row(0)
+	for i := range p {
+		if p[i] != f[i] {
+			t.Errorf("Predict[%d] = %g, Forward = %g", i, p[i], f[i])
+		}
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewMLP(rng, 2, 3, 1)
+	b := a.Clone()
+	in := []float64{0.5, -0.5}
+	if a.Predict(in)[0] != b.Predict(in)[0] {
+		t.Error("clone predicts differently")
+	}
+	// Mutate a; b is unaffected.
+	a.Params()[0].Value.Data[0] += 1
+	if a.Predict(in)[0] == b.Predict(in)[0] {
+		t.Error("clone shares parameters")
+	}
+	b.CopyFrom(a)
+	if a.Predict(in)[0] != b.Predict(in)[0] {
+		t.Error("CopyFrom did not synchronise")
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewMLP(rng, 2, 3, 1)
+	b := NewMLP(rng, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("architecture mismatch did not panic")
+		}
+	}()
+	a.CopyFrom(b)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := NewMLP(rng, 3, 5, 2)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadMLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.3, 0.1, -0.7}
+	pa, pb := a.Predict(in), b.Predict(in)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Errorf("loaded net differs at output %d", i)
+		}
+	}
+	sizes := b.Sizes()
+	if len(sizes) != 3 || sizes[0] != 3 || sizes[2] != 2 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+}
+
+func TestLoadMLPGarbage(t *testing.T) {
+	if _, err := LoadMLP(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestHuberGrad(t *testing.T) {
+	for _, tc := range []struct{ e, want float64 }{
+		{0.5, 0.5}, {-0.5, -0.5}, {3, 1}, {-3, -1}, {0, 0},
+	} {
+		if got := HuberGrad(tc.e); got != tc.want {
+			t.Errorf("HuberGrad(%g) = %g, want %g", tc.e, got, tc.want)
+		}
+	}
+	if MSEGrad(2.5) != 2.5 {
+		t.Error("MSEGrad broken")
+	}
+}
+
+func TestNewMLPTooFewSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("one-size MLP did not panic")
+		}
+	}()
+	NewMLP(rand.New(rand.NewSource(9)), 3)
+}
+
+func TestXavierFillRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := NewMatrix(10, 10)
+	XavierFill(m, rng, 10, 10)
+	limit := math.Sqrt(6.0 / 20.0)
+	nonZero := 0
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("value %g outside Xavier limit %g", v, limit)
+		}
+		if v != 0 {
+			nonZero++
+		}
+	}
+	if nonZero < 90 {
+		t.Error("XavierFill left most values zero")
+	}
+}

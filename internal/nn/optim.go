@@ -1,0 +1,92 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param][]float64)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := s.vel[p]
+		if v == nil {
+			v = make([]float64, len(p.Value.Data))
+			s.vel[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v[i] = s.Momentum*v[i] - s.LR*g
+			p.Value.Data[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults
+// (β1 = 0.9, β2 = 0.999, ε = 1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64),
+		v: make(map[*Param][]float64),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = make([]float64, len(p.Value.Data))
+			v = make([]float64, len(p.Value.Data))
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			p.Value.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// HuberGrad returns the gradient of the Huber loss (δ = 1) of the
+// prediction error e = pred − target: e clipped to [-1, 1]. DQN uses it
+// to keep large Bellman errors from destabilising training.
+func HuberGrad(e float64) float64 {
+	if e > 1 {
+		return 1
+	}
+	if e < -1 {
+		return -1
+	}
+	return e
+}
+
+// MSEGrad returns the gradient of ½·e² — the raw error.
+func MSEGrad(e float64) float64 { return e }

@@ -1,0 +1,80 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV loads a relation from CSV data. The first record must be a header
+// whose column names match the schema's attribute names exactly and in
+// order. Empty cells become Null.
+func ReadCSV(r io.Reader, schema *Schema, pool *Pool) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.Len()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	for i, name := range header {
+		if name != schema.Attr(i).Name {
+			return nil, fmt.Errorf("relation: CSV header column %d is %q, schema expects %q",
+				i, name, schema.Attr(i).Name)
+		}
+	}
+	rel := New(schema, pool)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV record: %w", err)
+		}
+		rel.AppendRow(rec)
+	}
+	return rel, nil
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path string, schema *Schema, pool *Pool) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("relation: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f, schema, pool)
+}
+
+// WriteCSV writes the relation (with a header row) as CSV. Null cells are
+// written as empty strings.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.schema.Names()); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	for row := 0; row < r.n; row++ {
+		if err := cw.Write(r.RowStrings(row)); err != nil {
+			return fmt.Errorf("relation: writing CSV row %d: %w", row, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("relation: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// WriteCSVFile writes the relation to a file path.
+func (r *Relation) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("relation: %w", err)
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

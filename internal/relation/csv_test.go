@@ -1,0 +1,70 @@
+package relation
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := buildTestRelation(t)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(strings.NewReader(buf.String()), testSchema(), NewPool())
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.NumRows() != r.NumRows() {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), r.NumRows())
+	}
+	for row := 0; row < r.NumRows(); row++ {
+		for col := 0; col < r.NumCols(); col++ {
+			if got.Value(row, col) != r.Value(row, col) {
+				t.Errorf("cell (%d,%d) = %q, want %q",
+					row, col, got.Value(row, col), r.Value(row, col))
+			}
+		}
+	}
+	// Null round-trips as Null.
+	if got.Code(2, 1) != Null {
+		t.Errorf("Null cell round-tripped to %q", got.Value(2, 1))
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	r := buildTestRelation(t)
+	path := filepath.Join(t.TempDir(), "rel.csv")
+	if err := r.WriteCSVFile(path); err != nil {
+		t.Fatalf("WriteCSVFile: %v", err)
+	}
+	got, err := ReadCSVFile(path, testSchema(), NewPool())
+	if err != nil {
+		t.Fatalf("ReadCSVFile: %v", err)
+	}
+	if got.NumRows() != 3 {
+		t.Errorf("rows = %d", got.NumRows())
+	}
+}
+
+func TestReadCSVHeaderMismatch(t *testing.T) {
+	csv := "city,wrong,age\nHZ,1,2\n"
+	if _, err := ReadCSV(strings.NewReader(csv), testSchema(), NewPool()); err == nil {
+		t.Fatal("mismatched header accepted")
+	}
+}
+
+func TestReadCSVBadRecord(t *testing.T) {
+	csv := "city,zip,age\nHZ,1\n"
+	if _, err := ReadCSV(strings.NewReader(csv), testSchema(), NewPool()); err == nil {
+		t.Fatal("short record accepted")
+	}
+}
+
+func TestReadCSVMissingFile(t *testing.T) {
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "nope.csv"), testSchema(), NewPool()); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,319 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Attribute{Name: "city"},
+		Attribute{Name: "zip", Domain: "zipcode"},
+		Attribute{Name: "age", Type: Continuous},
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := s.Index("zip"); got != 1 {
+		t.Errorf("Index(zip) = %d, want 1", got)
+	}
+	if got := s.Index("nope"); got != -1 {
+		t.Errorf("Index(nope) = %d, want -1", got)
+	}
+	if got := s.MustIndex("age"); got != 2 {
+		t.Errorf("MustIndex(age) = %d, want 2", got)
+	}
+	if got := s.Attr(1).DomainName(); got != "zipcode" {
+		t.Errorf("DomainName = %q, want zipcode", got)
+	}
+	if got := s.Attr(0).DomainName(); got != "city" {
+		t.Errorf("DomainName = %q, want city (default to name)", got)
+	}
+	want := []string{"city", "zip", "age"}
+	for i, n := range s.Names() {
+		if n != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, n, want[i])
+		}
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSchema with duplicate names did not panic")
+		}
+	}()
+	NewSchema(Attribute{Name: "a"}, Attribute{Name: "a"})
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex on missing attribute did not panic")
+		}
+	}()
+	testSchema().MustIndex("missing")
+}
+
+func TestDictInternAndLookup(t *testing.T) {
+	d := NewDict()
+	a := d.Code("x")
+	b := d.Code("y")
+	if a == b {
+		t.Fatal("distinct values got equal codes")
+	}
+	if got := d.Code("x"); got != a {
+		t.Errorf("re-interning x gave %d, want %d", got, a)
+	}
+	if got := d.Value(a); got != "x" {
+		t.Errorf("Value(%d) = %q, want x", a, got)
+	}
+	if got := d.Value(Null); got != "" {
+		t.Errorf("Value(Null) = %q, want empty", got)
+	}
+	if _, ok := d.Lookup("z"); ok {
+		t.Error("Lookup(z) reported present")
+	}
+	if c, ok := d.Lookup("y"); !ok || c != b {
+		t.Errorf("Lookup(y) = (%d, %v), want (%d, true)", c, ok, b)
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d, want 2", d.Size())
+	}
+	vals := d.Values()
+	if len(vals) != 2 || vals[a] != "x" || vals[b] != "y" {
+		t.Errorf("Values() = %v", vals)
+	}
+}
+
+// Property: interning any sequence of strings round-trips code -> value.
+func TestDictRoundTripProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		d := NewDict()
+		for _, v := range vals {
+			c := d.Code(v)
+			if d.Value(c) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolSharesDicts(t *testing.T) {
+	p := NewPool()
+	a := p.Dict("zip")
+	b := p.Dict("zip")
+	if a != b {
+		t.Fatal("pool returned distinct dicts for the same domain")
+	}
+	if p.Dict("other") == a {
+		t.Fatal("pool shared dict across domains")
+	}
+}
+
+func buildTestRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := New(testSchema(), NewPool())
+	r.AppendRow([]string{"HZ", "31200", "30"})
+	r.AppendRow([]string{"BJ", "10021", "41"})
+	r.AppendRow([]string{"HZ", "", "25"})
+	return r
+}
+
+func TestRelationAppendAndAccess(t *testing.T) {
+	r := buildTestRelation(t)
+	if r.NumRows() != 3 || r.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d, want 3x3", r.NumRows(), r.NumCols())
+	}
+	if got := r.Value(0, 0); got != "HZ" {
+		t.Errorf("Value(0,0) = %q", got)
+	}
+	if got := r.Code(2, 1); got != Null {
+		t.Errorf("empty cell code = %d, want Null", got)
+	}
+	if r.Code(0, 0) != r.Code(2, 0) {
+		t.Error("equal strings got different codes")
+	}
+	row := r.RowStrings(1)
+	if row[0] != "BJ" || row[1] != "10021" || row[2] != "41" {
+		t.Errorf("RowStrings(1) = %v", row)
+	}
+	codes := r.Row(1)
+	for c, code := range codes {
+		if code != r.Code(1, c) {
+			t.Errorf("Row(1)[%d] = %d, want %d", c, code, r.Code(1, c))
+		}
+	}
+}
+
+func TestAppendRowWrongArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendRow with wrong arity did not panic")
+		}
+	}()
+	buildTestRelation(t).AppendRow([]string{"only-one"})
+}
+
+func TestSetValueAndSetCode(t *testing.T) {
+	r := buildTestRelation(t)
+	r.SetValue(0, 1, "99999")
+	if got := r.Value(0, 1); got != "99999" {
+		t.Errorf("after SetValue: %q", got)
+	}
+	r.SetValue(0, 1, "")
+	if got := r.Code(0, 1); got != Null {
+		t.Errorf("SetValue empty should store Null, got %d", got)
+	}
+	r.SetCode(0, 0, r.Code(1, 0))
+	if got := r.Value(0, 0); got != "BJ" {
+		t.Errorf("after SetCode: %q", got)
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	r := buildTestRelation(t)
+	nums := r.Numeric(2)
+	want := []float64{30, 41, 25}
+	for i, w := range want {
+		if nums[i] != w {
+			t.Errorf("Numeric[%d] = %g, want %g", i, nums[i], w)
+		}
+	}
+	// Null and non-numeric cells map to -Inf.
+	nonNum := r.Numeric(0)
+	for i, v := range nonNum {
+		if !math.IsInf(v, -1) {
+			t.Errorf("Numeric(city)[%d] = %g, want -Inf", i, v)
+		}
+	}
+	if v, ok := r.NumericValue(2, 1); ok || v != 0 {
+		t.Errorf("NumericValue of Null = (%g, %v), want (0, false)", v, ok)
+	}
+	// The cache must be invalidated by writes.
+	r.SetValue(0, 2, "99")
+	if got := r.Numeric(2)[0]; got != 99 {
+		t.Errorf("Numeric after SetValue = %g, want 99", got)
+	}
+}
+
+func TestNumericCacheInvalidatedByAppend(t *testing.T) {
+	r := buildTestRelation(t)
+	_ = r.Numeric(2)
+	r.AppendRow([]string{"SZ", "51800", "60"})
+	nums := r.Numeric(2)
+	if len(nums) != 4 || nums[3] != 60 {
+		t.Errorf("Numeric after append = %v", nums)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := buildTestRelation(t)
+	c := r.Clone()
+	c.SetValue(0, 0, "SZ")
+	if r.Value(0, 0) != "HZ" {
+		t.Error("mutating clone changed original")
+	}
+	if c.NumRows() != r.NumRows() {
+		t.Errorf("clone rows = %d", c.NumRows())
+	}
+	// Clones share dictionaries: codes must be comparable.
+	if c.Code(1, 0) != r.Code(1, 0) {
+		t.Error("clone codes differ from original")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := buildTestRelation(t)
+	s := r.Select([]int{2, 0})
+	if s.NumRows() != 2 {
+		t.Fatalf("Select rows = %d, want 2", s.NumRows())
+	}
+	if s.Value(0, 0) != "HZ" || s.Value(1, 1) != "31200" {
+		t.Errorf("Select reordered wrongly: %v / %v", s.RowStrings(0), s.RowStrings(1))
+	}
+}
+
+func TestDomainCodesAndCounts(t *testing.T) {
+	r := buildTestRelation(t)
+	codes := r.DomainCodes(0)
+	if len(codes) != 2 {
+		t.Fatalf("city domain = %d values, want 2", len(codes))
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			t.Error("DomainCodes not sorted")
+		}
+	}
+	if got := r.DomainSize(1); got != 2 {
+		t.Errorf("zip DomainSize = %d, want 2 (Null excluded)", got)
+	}
+	counts := r.ValueCounts(0)
+	if counts[r.Code(0, 0)] != 2 {
+		t.Errorf("count(HZ) = %d, want 2", counts[r.Code(0, 0)])
+	}
+}
+
+func TestSampleRows(t *testing.T) {
+	r := buildTestRelation(t)
+	rng := rand.New(rand.NewSource(1))
+	rows := r.SampleRows(rng, 2)
+	if len(rows) != 2 {
+		t.Fatalf("SampleRows = %d rows", len(rows))
+	}
+	if rows[0] == rows[1] {
+		t.Error("SampleRows returned duplicates")
+	}
+	all := r.SampleRows(rng, 10)
+	if len(all) != 3 {
+		t.Errorf("oversized sample = %d rows, want all 3", len(all))
+	}
+	s := r.Sample(rng, 2)
+	if s.NumRows() != 2 {
+		t.Errorf("Sample rows = %d", s.NumRows())
+	}
+}
+
+func TestSplitSampleIndependence(t *testing.T) {
+	r := New(testSchema(), NewPool())
+	for i := 0; i < 100; i++ {
+		r.AppendRow([]string{"c", "z", "1"})
+	}
+	rng := rand.New(rand.NewSource(2))
+	a, b := r.SplitSample(rng, 30, 60)
+	if a.NumRows() != 30 || b.NumRows() != 60 {
+		t.Errorf("SplitSample sizes = %d, %d", a.NumRows(), b.NumRows())
+	}
+}
+
+func TestDuplicateSample(t *testing.T) {
+	r := New(testSchema(), NewPool())
+	for i := 0; i < 200; i++ {
+		r.AppendRow([]string{string(rune('a' + i%26)), "z", "1"})
+	}
+	rng := rand.New(rand.NewSource(3))
+	input, master := r.DuplicateSample(rng, 100, 50, 1.0)
+	if input.NumRows() != 100 || master.NumRows() != 50 {
+		t.Fatalf("sizes = %d, %d", input.NumRows(), master.NumRows())
+	}
+	// With d = 1.0 every input row must duplicate a master row's city.
+	masterCities := make(map[int32]bool)
+	for i := 0; i < master.NumRows(); i++ {
+		masterCities[master.Code(i, 0)] = true
+	}
+	for i := 0; i < input.NumRows(); i++ {
+		if !masterCities[input.Code(i, 0)] {
+			t.Fatalf("input row %d not drawn from master at d=1.0", i)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package relation
+
+import "math/rand"
+
+// SampleRows returns k distinct row indices drawn uniformly without
+// replacement. If k >= NumRows, all rows are returned (shuffled).
+func (r *Relation) SampleRows(rng *rand.Rand, k int) []int {
+	idx := rng.Perm(r.n)
+	if k > r.n {
+		k = r.n
+	}
+	return idx[:k]
+}
+
+// Sample returns a new relation of k rows drawn uniformly without
+// replacement.
+func (r *Relation) Sample(rng *rand.Rand, k int) *Relation {
+	return r.Select(r.SampleRows(rng, k))
+}
+
+// SplitSample draws two independent uniform samples of the relation:
+// nA rows for the first and nB rows for the second. The two samples are
+// drawn separately (with overlap possible), mirroring the paper's
+// "sampled separately from the original dataset" protocol (§V-A1).
+func (r *Relation) SplitSample(rng *rand.Rand, nA, nB int) (*Relation, *Relation) {
+	return r.Sample(rng, nA), r.Sample(rng, nB)
+}
+
+// DuplicateSample implements the duplicate-rate protocol of §V-C2: it first
+// draws a master sample of nMaster rows, then draws an input sample of
+// nInput rows of which d (in [0,1]) fraction come from the master rows and
+// the remainder from the non-master rows. Rows are drawn with replacement
+// within each side so the requested sizes are always met.
+func (r *Relation) DuplicateSample(rng *rand.Rand, nInput, nMaster int, d float64) (input, master *Relation) {
+	perm := rng.Perm(r.n)
+	if nMaster > r.n {
+		nMaster = r.n
+	}
+	masterRows := perm[:nMaster]
+	otherRows := perm[nMaster:]
+	if len(otherRows) == 0 {
+		otherRows = masterRows
+	}
+
+	inputRows := make([]int, 0, nInput)
+	for i := 0; i < nInput; i++ {
+		if rng.Float64() < d {
+			inputRows = append(inputRows, masterRows[rng.Intn(len(masterRows))])
+		} else {
+			inputRows = append(inputRows, otherRows[rng.Intn(len(otherRows))])
+		}
+	}
+	return r.Select(inputRows), r.Select(masterRows)
+}

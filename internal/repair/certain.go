@@ -1,0 +1,79 @@
+package repair
+
+import (
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+)
+
+// CertainResult holds the outcome of certain-fix application.
+type CertainResult struct {
+	// Pred[i] is the certain fix for tuple i, or relation.Null when no
+	// rule yields one.
+	Pred []int32
+	// Certain counts tuples with a certain fix.
+	Certain int
+	// Conflicts counts tuples where two rules each produced a certain
+	// fix but disagreed — evidence of rule-set inconsistency, reported
+	// rather than silently resolved. Conflicting tuples get no fix.
+	Conflicts int
+}
+
+// ApplyCertain applies only certain fixes, the semantics editing rules
+// were designed for (Fan et al. [18]): a tuple is fixed only when a rule
+// covering it returns exactly one candidate value from the master data
+// (f_c = 1, unique Cand). Unlike Apply's certainty-score aggregation —
+// the paper's evaluation protocol (§V-B2) — ApplyCertain never guesses:
+// ambiguous evidence leaves the cell untouched, and disagreeing certain
+// rules are surfaced as conflicts.
+func ApplyCertain(ev *measure.Evaluator, rules []*rule.Rule) CertainResult {
+	n := ev.Input().NumRows()
+	res := CertainResult{Pred: make([]int32, n)}
+	for i := range res.Pred {
+		res.Pred[i] = relation.Null
+	}
+	conflicted := make([]bool, n)
+
+	for _, r := range rules {
+		for row := 0; row < n; row++ {
+			if conflicted[row] {
+				continue
+			}
+			h, ok := ev.Candidates(r, row)
+			if !ok || h.Total == 0 || len(h.Counts) != 1 {
+				continue // not a certain fix
+			}
+			v := h.Arg
+			switch prev := res.Pred[row]; {
+			case prev == relation.Null:
+				res.Pred[row] = v
+				res.Certain++
+			case prev != v:
+				// Two certain rules disagree: retract the fix.
+				res.Pred[row] = relation.Null
+				res.Certain--
+				res.Conflicts++
+				conflicted[row] = true
+			}
+		}
+	}
+	return res
+}
+
+// CertainRegion reports, per rule, how many input tuples the rule fixes
+// certainly — the rule-level view of the certain region of [18]. The
+// result maps the rule's canonical key to its certain-fix count.
+func CertainRegion(ev *measure.Evaluator, rules []*rule.Rule) map[string]int {
+	out := make(map[string]int, len(rules))
+	n := ev.Input().NumRows()
+	for _, r := range rules {
+		count := 0
+		for row := 0; row < n; row++ {
+			if h, ok := ev.Candidates(r, row); ok && len(h.Counts) == 1 {
+				count++
+			}
+		}
+		out[r.Key()] = count
+	}
+	return out
+}

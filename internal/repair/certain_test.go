@@ -1,0 +1,115 @@
+package repair
+
+import (
+	"testing"
+
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+)
+
+// certainFixture: k1 has a unique master value (certain); k2 has two
+// conflicting master values (uncertain); k3 joins nothing.
+func certainFixture() (input, master *relation.Relation) {
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "B", Domain: "b"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input = relation.New(in, pool)
+	input.AppendRow([]string{"k1", "b1", ""})
+	input.AppendRow([]string{"k2", "b2", ""})
+	input.AppendRow([]string{"k3", "b3", ""})
+	master = relation.New(ms, pool)
+	master.AppendRow([]string{"k1", "b1", "v1"})
+	master.AppendRow([]string{"k1", "b9", "v1"}) // duplicate value: still certain
+	master.AppendRow([]string{"k2", "b2", "v2"})
+	master.AppendRow([]string{"k2", "b2", "v3"}) // conflict: uncertain
+	return input, master
+}
+
+func TestApplyCertainOnlyUnique(t *testing.T) {
+	input, master := certainFixture()
+	ev := measure.NewEvaluator(input, master, nil)
+	r := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 2, nil)
+	res := ApplyCertain(ev, []*rule.Rule{r})
+
+	v1, _ := input.Dict(2).Lookup("v1")
+	if res.Pred[0] != v1 {
+		t.Errorf("k1 fix = %d, want v1", res.Pred[0])
+	}
+	if res.Pred[1] != relation.Null {
+		t.Error("uncertain tuple was fixed")
+	}
+	if res.Pred[2] != relation.Null {
+		t.Error("uncovered tuple was fixed")
+	}
+	if res.Certain != 1 || res.Conflicts != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestApplyCertainDetectsConflicts(t *testing.T) {
+	input, master := certainFixture()
+	ev := measure.NewEvaluator(input, master, nil)
+	// Rule 1 joins on A; rule 2 joins on B. For k1/b1 both are certain
+	// but agree (v1). Add a master row making the B-join of k1 certain
+	// on a different value.
+	master.AppendRow([]string{"k9", "b1", "v9"})
+	// Now Cand via B=b1 is {v1, v9}: not certain — adjust: use a row
+	// where B-join is certain but different. Give k3/b3 two rules:
+	master.AppendRow([]string{"k3", "b8", "x1"})
+	master.AppendRow([]string{"k8", "b3", "x2"})
+	rA := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 2, nil)
+	rB := rule.New([]rule.AttrPair{{Input: 1, Master: 1}}, 2, 2, nil)
+	res := ApplyCertain(ev, []*rule.Rule{rA, rB})
+	// k3: rA gives x1 (certain via A=k3), rB gives x2 (certain via
+	// B=b3) → conflict, no fix.
+	if res.Pred[2] != relation.Null {
+		t.Errorf("conflicting tuple fixed to %d", res.Pred[2])
+	}
+	if res.Conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", res.Conflicts)
+	}
+}
+
+func TestApplyCertainAgreementIsNotConflict(t *testing.T) {
+	input, master := certainFixture()
+	ev := measure.NewEvaluator(input, master, nil)
+	rA := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 2, nil)
+	res := ApplyCertain(ev, []*rule.Rule{rA, rA})
+	if res.Conflicts != 0 {
+		t.Errorf("identical rules conflicted: %+v", res)
+	}
+	if res.Certain != 1 {
+		t.Errorf("certain = %d", res.Certain)
+	}
+}
+
+func TestCertainRegion(t *testing.T) {
+	input, master := certainFixture()
+	ev := measure.NewEvaluator(input, master, nil)
+	r := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 2, nil)
+	region := CertainRegion(ev, []*rule.Rule{r})
+	if got := region[r.Key()]; got != 1 {
+		t.Errorf("certain region = %d, want 1 (only k1)", got)
+	}
+}
+
+func TestApplyCertainGuardedPattern(t *testing.T) {
+	input, master := certainFixture()
+	ev := measure.NewEvaluator(input, master, nil)
+	b1, _ := input.Dict(1).Lookup("b1")
+	r := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 2,
+		[]rule.Condition{rule.Eq(1, b1)})
+	res := ApplyCertain(ev, []*rule.Rule{r})
+	if res.Certain != 1 || res.Pred[1] != relation.Null {
+		t.Errorf("pattern not respected: %+v", res)
+	}
+}

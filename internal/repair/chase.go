@@ -1,0 +1,89 @@
+package repair
+
+import (
+	"sort"
+
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+)
+
+// Target is one dependent attribute with its discovered rule set, for
+// multi-attribute chase repair.
+type Target struct {
+	// Y is the input attribute the rules fix.
+	Y int
+	// Rules is the discovered rule set for Y (all rules share Y).
+	Rules []*rule.Rule
+	// MinScore optionally requires the winning candidate's summed
+	// certainty score to reach this value before the fix is applied;
+	// zero applies every proposed fix.
+	MinScore float64
+}
+
+// ChaseResult reports a chase run.
+type ChaseResult struct {
+	// Rounds is the number of passes until fixpoint (or the cap).
+	Rounds int
+	// Fixed counts cells changed, per target attribute.
+	Fixed map[int]int
+	// Total is the total number of cells changed.
+	Total int
+}
+
+// Chase applies several targets' rule sets to the input relation
+// iteratively, in the spirit of the certain-fix chase of Fan et al.
+// (VLDB J. 2012) that editing rules were designed for: fixing one
+// attribute can provide the evidence another rule needs (a repaired city
+// lets a (city, date) rule fire), so single-pass application is not
+// enough. Each round re-evaluates every target against the current state
+// of the relation and writes the winning fixes; the chase stops when a
+// round changes nothing or after maxRounds (a safety cap; 0 means 8).
+//
+// Termination is guaranteed: a cell is fixed at most once across the
+// whole chase, so each round either changes at least one never-touched
+// cell or terminates.
+//
+// The relation is modified in place.
+func Chase(input, master *relation.Relation, targets []Target, maxRounds int) ChaseResult {
+	if maxRounds <= 0 {
+		maxRounds = 8
+	}
+	// Deterministic target order.
+	ts := append([]Target(nil), targets...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Y < ts[j].Y })
+
+	res := ChaseResult{Fixed: make(map[int]int)}
+	touched := make(map[[2]int]bool) // (row, col) cells already fixed
+
+	for round := 0; round < maxRounds; round++ {
+		changed := 0
+		for _, tgt := range ts {
+			// The relation mutates between rounds, so each pass needs a
+			// fresh evaluator (its master index is still cached within
+			// the pass).
+			ev := measure.NewEvaluator(input, master, nil)
+			fixes := Apply(ev, tgt.Rules)
+			for row := 0; row < input.NumRows(); row++ {
+				p := fixes.Pred[row]
+				if p == relation.Null || fixes.Score[row] < tgt.MinScore {
+					continue
+				}
+				cell := [2]int{row, tgt.Y}
+				if touched[cell] || input.Code(row, tgt.Y) == p {
+					continue
+				}
+				input.SetCode(row, tgt.Y, p)
+				touched[cell] = true
+				res.Fixed[tgt.Y]++
+				res.Total++
+				changed++
+			}
+		}
+		res.Rounds = round + 1
+		if changed == 0 {
+			break
+		}
+	}
+	return res
+}

@@ -1,0 +1,124 @@
+package repair
+
+import (
+	"testing"
+
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+)
+
+// chaseFixture builds a two-stage dependency:
+//
+//	input:  K, M (mid), Y
+//	master: K, M, Y  with FDs K → M and M → Y.
+//
+// One input tuple has both M and Y missing: fixing Y requires first
+// fixing M from K — exactly the cascade the chase exists for.
+func chaseFixture() (input, master *relation.Relation) {
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "K", Domain: "k"},
+		relation.Attribute{Name: "M", Domain: "m"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "K", Domain: "k"},
+		relation.Attribute{Name: "M", Domain: "m"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input = relation.New(in, pool)
+	input.AppendRow([]string{"k1", "", ""})     // needs M then Y
+	input.AppendRow([]string{"k2", "m2", "y2"}) // clean
+	master = relation.New(ms, pool)
+	master.AppendRow([]string{"k1", "m1", "y1"})
+	master.AppendRow([]string{"k2", "m2", "y2"})
+	return input, master
+}
+
+func TestChaseCascadesFixes(t *testing.T) {
+	input, master := chaseFixture()
+	ruleM := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 1, 1, nil) // K → M
+	ruleY := rule.New([]rule.AttrPair{{Input: 1, Master: 1}}, 2, 2, nil) // M → Y
+
+	res := Chase(input, master, []Target{
+		{Y: 1, Rules: []*rule.Rule{ruleM}},
+		{Y: 2, Rules: []*rule.Rule{ruleY}},
+	}, 0)
+
+	if input.Value(0, 1) != "m1" {
+		t.Errorf("M not fixed: %q", input.Value(0, 1))
+	}
+	if input.Value(0, 2) != "y1" {
+		t.Errorf("Y not fixed through the cascade: %q", input.Value(0, 2))
+	}
+	if res.Total != 2 || res.Fixed[1] != 1 || res.Fixed[2] != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Rounds < 1 || res.Rounds > 3 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+}
+
+// TestChaseSingleRoundWhenOrdered: with targets processed in Y order,
+// the (M before Y) cascade resolves in the first round; a second round
+// confirms the fixpoint.
+func TestChaseSingleRoundWhenOrdered(t *testing.T) {
+	input, master := chaseFixture()
+	ruleM := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 1, 1, nil)
+	ruleY := rule.New([]rule.AttrPair{{Input: 1, Master: 1}}, 2, 2, nil)
+	res := Chase(input, master, []Target{
+		{Y: 2, Rules: []*rule.Rule{ruleY}}, // deliberately out of order
+		{Y: 1, Rules: []*rule.Rule{ruleM}},
+	}, 0)
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2 (fix round + fixpoint round)", res.Rounds)
+	}
+}
+
+func TestChaseCellFixedAtMostOnce(t *testing.T) {
+	input, master := chaseFixture()
+	// A contradictory second master tuple would otherwise flip row 0's M
+	// back and forth; the touched-set guarantees one fix per cell.
+	master.AppendRow([]string{"k1", "m9", "y1"})
+	ruleM := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 1, 1, nil)
+	res := Chase(input, master, []Target{{Y: 1, Rules: []*rule.Rule{ruleM}}}, 10)
+	if res.Fixed[1] != 1 {
+		t.Errorf("M fixed %d times", res.Fixed[1])
+	}
+	if res.Rounds > 3 {
+		t.Errorf("chase did not converge promptly: %d rounds", res.Rounds)
+	}
+}
+
+func TestChaseMinScore(t *testing.T) {
+	input, master := chaseFixture()
+	// k1 now maps to two conflicting M values: certainty 0.5 each.
+	master.AppendRow([]string{"k1", "m9", "y1"})
+	ruleM := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 1, 1, nil)
+	res := Chase(input, master, []Target{
+		{Y: 1, Rules: []*rule.Rule{ruleM}, MinScore: 0.9},
+	}, 0)
+	if res.Total != 0 {
+		t.Errorf("low-certainty fix applied despite MinScore: %+v", res)
+	}
+	if input.Code(0, 1) != relation.Null {
+		t.Error("cell modified")
+	}
+}
+
+func TestChaseNoTargets(t *testing.T) {
+	input, master := chaseFixture()
+	res := Chase(input, master, nil, 0)
+	if res.Total != 0 || res.Rounds != 1 {
+		t.Errorf("empty chase = %+v", res)
+	}
+}
+
+func TestChaseLeavesCleanDataAlone(t *testing.T) {
+	input, master := chaseFixture()
+	ruleY := rule.New([]rule.AttrPair{{Input: 1, Master: 1}}, 2, 2, nil)
+	Chase(input, master, []Target{{Y: 2, Rules: []*rule.Rule{ruleY}}}, 0)
+	if input.Value(1, 2) != "y2" {
+		t.Error("clean tuple modified")
+	}
+}

@@ -1,0 +1,94 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+)
+
+// Evidence is one rule's contribution to a tuple's fix.
+type Evidence struct {
+	// Rule is the contributing rule.
+	Rule *rule.Rule
+	// Candidates lists the rule's candidate fixes with their certainty
+	// scores σ_{v,φ}, highest first.
+	Candidates []Candidate
+}
+
+// Candidate is one candidate fix value with its certainty score.
+type Candidate struct {
+	Value int32
+	Score float64
+	Count int
+}
+
+// Explanation justifies the fix proposed for one tuple.
+type Explanation struct {
+	Row int
+	// Fix is the winning value (relation.Null when uncovered).
+	Fix int32
+	// Score is the winning value's summed certainty score.
+	Score float64
+	// Evidence lists each covering rule's candidates.
+	Evidence []Evidence
+}
+
+// Explain reconstructs why the rule set proposes its fix for one input
+// tuple: which rules cover it, what candidates each contributes, and how
+// the certainty scores add up. This is the interpretability story
+// rule-based cleaning is chosen for (paper §I: "easier to interpret and
+// thus helpful for users to understand the data").
+func Explain(ev *measure.Evaluator, rules []*rule.Rule, row int) Explanation {
+	out := Explanation{Row: row, Fix: relation.Null}
+	total := make(map[int32]float64)
+	for _, r := range rules {
+		h, ok := ev.Candidates(r, row)
+		if !ok || h.Total == 0 {
+			continue
+		}
+		e := Evidence{Rule: r}
+		for v, c := range h.Counts {
+			score := float64(c) / float64(h.Total)
+			e.Candidates = append(e.Candidates, Candidate{Value: v, Score: score, Count: c})
+			total[v] += score
+		}
+		sort.Slice(e.Candidates, func(i, j int) bool {
+			a, b := e.Candidates[i], e.Candidates[j]
+			if a.Score != b.Score {
+				return a.Score > b.Score
+			}
+			return a.Value < b.Value
+		})
+		out.Evidence = append(out.Evidence, e)
+	}
+	for v, s := range total {
+		if s > out.Score || (s == out.Score && (out.Fix == relation.Null || v < out.Fix)) {
+			out.Fix = v
+			out.Score = s
+		}
+	}
+	return out
+}
+
+// Format renders the explanation with attribute names and values.
+func (e Explanation) Format(input *relation.Relation, masterSchema *relation.Schema, y int) string {
+	var b strings.Builder
+	if e.Fix == relation.Null {
+		fmt.Fprintf(&b, "tuple %d: no rule proposes a fix\n", e.Row)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "tuple %d: fix %s = %q (summed certainty %.3f)\n",
+		e.Row, input.Schema().Attr(y).Name, input.Dict(y).Value(e.Fix), e.Score)
+	for _, ev := range e.Evidence {
+		fmt.Fprintf(&b, "  by %s\n", ev.Rule.String(input, masterSchema))
+		for _, c := range ev.Candidates {
+			fmt.Fprintf(&b, "     %q ×%d (σ = %.3f)\n",
+				input.Dict(y).Value(c.Value), c.Count, c.Score)
+		}
+	}
+	return b.String()
+}

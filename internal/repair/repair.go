@@ -1,0 +1,96 @@
+// Package repair applies a set of discovered editing rules to an input
+// relation, producing per-tuple candidate fixes for the dependent
+// attribute and aggregating them across rules by summed certainty score
+// (paper §V-B2):
+//
+//	σ_{v,φ} = count(v,φ) / Σ_{v'} count(v',φ)
+//	fix(t)  = argmax_v Σ_φ σ_{v,φ}
+package repair
+
+import (
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+)
+
+// Result holds the outcome of applying a rule set.
+type Result struct {
+	// Pred[i] is the predicted Y code for input tuple i, or
+	// relation.Null when no rule covers the tuple.
+	Pred []int32
+	// Score[i] is the winning candidate's summed certainty score.
+	Score []float64
+	// Covered is the number of tuples with at least one candidate fix.
+	Covered int
+}
+
+// Apply evaluates every rule over the evaluator's input relation and
+// aggregates candidate fixes. Rules must share the evaluator's dependent
+// attribute pair (they do, by construction of the miners).
+func Apply(ev *measure.Evaluator, rules []*rule.Rule) Result {
+	n := ev.Input().NumRows()
+	scores := make([]map[int32]float64, n)
+
+	for _, r := range rules {
+		for row := 0; row < n; row++ {
+			h, ok := ev.Candidates(r, row)
+			if !ok || h.Total == 0 {
+				continue
+			}
+			m := scores[row]
+			if m == nil {
+				m = make(map[int32]float64, len(h.Counts))
+				scores[row] = m
+			}
+			for v, c := range h.Counts {
+				m[v] += float64(c) / float64(h.Total)
+			}
+		}
+	}
+
+	res := Result{
+		Pred:  make([]int32, n),
+		Score: make([]float64, n),
+	}
+	for row := 0; row < n; row++ {
+		res.Pred[row] = relation.Null
+		m := scores[row]
+		if len(m) == 0 {
+			continue
+		}
+		best := relation.Null
+		bestScore := -1.0
+		for v, s := range m {
+			if s > bestScore || (s == bestScore && v < best) {
+				best, bestScore = v, s
+			}
+		}
+		res.Pred[row] = best
+		res.Score[row] = bestScore
+		res.Covered++
+	}
+	return res
+}
+
+// WriteFixes writes the predicted values into the relation's dependent
+// column. When onlyMissing is true, only Null cells are overwritten
+// (imputation mode); otherwise every covered cell is updated (repair
+// mode). It returns the number of cells changed.
+func WriteFixes(rel *relation.Relation, y int, res Result, onlyMissing bool) int {
+	changed := 0
+	for row := 0; row < rel.NumRows(); row++ {
+		p := res.Pred[row]
+		if p == relation.Null {
+			continue
+		}
+		cur := rel.Code(row, y)
+		if onlyMissing && cur != relation.Null {
+			continue
+		}
+		if cur != p {
+			rel.SetCode(row, y, p)
+			changed++
+		}
+	}
+	return changed
+}

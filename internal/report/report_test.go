@@ -1,0 +1,89 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-longer", "22")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") || !strings.Contains(lines[1], "Value") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Columns align: "Value" starts at the same offset in every row.
+	off := strings.Index(lines[1], "Value")
+	if lines[3][off:off+1] != "1" {
+		t.Errorf("row 1 misaligned:\n%s", out)
+	}
+	if lines[4][off:off+2] != "22" {
+		t.Errorf("row 2 misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("x") // missing cells become empty
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if !strings.Contains(buf.String(), "x") {
+		t.Error("row lost")
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.AddRow("x", "overflow")
+	if len(tb.Rows[0]) != 1 {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestFigureAddAndRender(t *testing.T) {
+	f := NewFigure("Fig", "x")
+	f.Add("s1", 1, 0.5)
+	f.Add("s2", 1, 0.6)
+	f.Add("s1", 2, 0.7)
+	var buf bytes.Buffer
+	f.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "s1") || !strings.Contains(out, "s2") {
+		t.Errorf("series missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.5") || !strings.Contains(out, "0.7") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	// Two x rows (1 and 2).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// s2 has no point at x=2: cell stays empty, row still renders.
+	if !strings.Contains(lines[4], "0.7") {
+		t.Errorf("x=2 row = %q", lines[4])
+	}
+}
+
+func TestFigureSeriesOrderStable(t *testing.T) {
+	f := NewFigure("", "x")
+	f.Add("b", 1, 1)
+	f.Add("a", 1, 2)
+	if f.Series[0].Name != "b" || f.Series[1].Name != "a" {
+		t.Error("series not in first-seen order")
+	}
+}

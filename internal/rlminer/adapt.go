@@ -1,0 +1,105 @@
+package rlminer
+
+import (
+	"math/rand"
+
+	"erminer/internal/core"
+	"erminer/internal/nn"
+)
+
+// spaceDimIDs lists a space's semantic dimension identities in order.
+func spaceDimIDs(s *core.Space) []string {
+	out := make([]string, s.Dim())
+	for d := range out {
+		out[d] = s.DimID(d)
+	}
+	return out
+}
+
+// adaptNetwork transfers a value network trained on the space whose
+// dimension identities are oldIDs to newSpace. When the enriched data
+// leaves the refinement space unchanged the network is cloned as-is.
+// Otherwise a new network with the new input and output widths is built;
+// weights of dimensions present in both spaces (matched by DimID) are
+// copied, and genuinely new dimensions keep their fresh Xavier
+// initialisation. Hidden layers carry over unchanged — they are
+// dimension-agnostic feature extractors.
+func adaptNetwork(rng *rand.Rand, old *nn.MLP, oldIDs []string, newSpace *core.Space) *nn.MLP {
+	if oldIDs == nil {
+		return old.Clone()
+	}
+	newIDs := spaceDimIDs(newSpace)
+	oldIn, newIn := len(oldIDs), newSpace.Dim()
+	if oldIn == newIn && sameIDs(oldIDs, newIDs) {
+		return old.Clone()
+	}
+
+	sizes := old.Sizes()
+	newSizes := append([]int(nil), sizes...)
+	newSizes[0] = newIn
+	newSizes[len(newSizes)-1] = newIn + 1 // actions = dims + stop
+	fresh := nn.NewMLP(rng, newSizes...)
+
+	// Map new dimension index -> old dimension index.
+	oldByID := make(map[string]int, oldIn)
+	for d, id := range oldIDs {
+		oldByID[id] = d
+	}
+	dimMap := make([]int, newIn)
+	for d := 0; d < newIn; d++ {
+		if od, ok := oldByID[newIDs[d]]; ok {
+			dimMap[d] = od
+		} else {
+			dimMap[d] = -1
+		}
+	}
+
+	oldParams := old.Params()
+	newParams := fresh.Params()
+
+	// First Dense: W is [in × h] — remap rows; B copies unchanged.
+	oldW0, newW0 := oldParams[0].Value, newParams[0].Value
+	for d := 0; d < newIn; d++ {
+		if od := dimMap[d]; od >= 0 {
+			copy(newW0.Row(d), oldW0.Row(od))
+		}
+	}
+	copy(newParams[1].Value.Data, oldParams[1].Value.Data)
+
+	// Middle layers copy verbatim.
+	for i := 2; i < len(oldParams)-2; i++ {
+		copy(newParams[i].Value.Data, oldParams[i].Value.Data)
+	}
+
+	// Last Dense: W is [h × out] — remap columns; B likewise. The stop
+	// action is the final column in both.
+	oldWL, newWL := oldParams[len(oldParams)-2].Value, newParams[len(newParams)-2].Value
+	oldBL, newBL := oldParams[len(oldParams)-1].Value, newParams[len(newParams)-1].Value
+	h := oldWL.Rows
+	for d := 0; d < newIn; d++ {
+		if od := dimMap[d]; od >= 0 {
+			for r := 0; r < h; r++ {
+				newWL.Set(r, d, oldWL.At(r, od))
+			}
+			newBL.Set(0, d, oldBL.At(0, od))
+		}
+	}
+	for r := 0; r < h; r++ {
+		newWL.Set(r, newIn, oldWL.At(r, oldIn))
+	}
+	newBL.Set(0, newIn, oldBL.At(0, oldIn))
+
+	return fresh
+}
+
+func sameIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

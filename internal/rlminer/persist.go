@@ -1,0 +1,66 @@
+package rlminer
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"erminer/internal/nn"
+)
+
+// SavedModel is a persisted RLMiner value network together with the
+// semantic identities of the refinement-space dimensions it was trained
+// on. The identities let a later process adapt the network to an
+// enriched dataset's (possibly wider) space before fine-tuning.
+type SavedModel struct {
+	net    *nn.MLP
+	dimIDs []string
+}
+
+// savedModelWire is the gob format.
+type savedModelWire struct {
+	Net    []byte
+	DimIDs []string
+}
+
+// SaveModel persists the trained value network. It errors before Mine
+// has produced one.
+func (m *Miner) SaveModel(w io.Writer) error {
+	if m.net == nil || m.space == nil {
+		return fmt.Errorf("rlminer: no trained model to save (run Mine first)")
+	}
+	var netBuf bytes.Buffer
+	if err := m.net.Save(&netBuf); err != nil {
+		return err
+	}
+	wire := savedModelWire{
+		Net:    netBuf.Bytes(),
+		DimIDs: spaceDimIDs(m.space),
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("rlminer: saving model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model persisted with SaveModel.
+func LoadModel(r io.Reader) (*SavedModel, error) {
+	var wire savedModelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("rlminer: loading model: %w", err)
+	}
+	net, err := nn.LoadMLP(bytes.NewReader(wire.Net))
+	if err != nil {
+		return nil, err
+	}
+	if sizes := net.Sizes(); sizes[0] != len(wire.DimIDs) {
+		return nil, fmt.Errorf("rlminer: model input width %d does not match %d dimension ids",
+			sizes[0], len(wire.DimIDs))
+	}
+	return &SavedModel{net: net, dimIDs: wire.DimIDs}, nil
+}
+
+// DimCount returns the number of refinement dimensions the model was
+// trained on.
+func (s *SavedModel) DimCount() int { return len(s.dimIDs) }

@@ -1,0 +1,52 @@
+package rlminer
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	p := covidProblem(t, 600, 30)
+	m := New(Config{TrainSteps: 600, Seed: 31})
+	if _, err := m.Mine(p); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.DimCount() != m.TrainedSpace().Dim() {
+		t.Errorf("DimCount = %d, want %d", saved.DimCount(), m.TrainedSpace().Dim())
+	}
+
+	// Fine-tune in a "new process" on enriched data.
+	p2 := covidProblem(t, 1000, 32)
+	ft := New(Config{FineTuneSteps: 300, Seed: 33})
+	res, err := ft.MineFineTunedFromSaved(p2, saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Name() != "RLMiner-ft" {
+		t.Errorf("name = %q", ft.Name())
+	}
+	if len(res.Rules) == 0 {
+		t.Error("fine-tuning from a saved model found nothing")
+	}
+}
+
+func TestSaveModelBeforeMine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(Config{}).SaveModel(&buf); err == nil {
+		t.Fatal("saving an untrained miner succeeded")
+	}
+}
+
+func TestLoadModelGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}

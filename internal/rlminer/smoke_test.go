@@ -1,0 +1,105 @@
+package rlminer_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"erminer/internal/core"
+	"erminer/internal/datagen"
+	"erminer/internal/enuminer"
+	"erminer/internal/errgen"
+	"erminer/internal/metrics"
+	"erminer/internal/relation"
+	"erminer/internal/repair"
+	"erminer/internal/rlminer"
+)
+
+// buildProblem materialises a small covid dataset with injected errors.
+func buildProblem(t testing.TB, seed int64) (*core.Problem, []int32) {
+	t.Helper()
+	w := datagen.Covid()
+	ds, err := w.Build(datagen.DefaultSpec(1200, 800, seed))
+	if err != nil {
+		t.Fatalf("building dataset: %v", err)
+	}
+	clean := ds.Input.Clone()
+	errgen.Inject(ds.Input, errgen.Config{
+		Rate: 0.08,
+		Rng:  rand.New(rand.NewSource(seed + 1)),
+	})
+	truth := errgen.TruthColumn(clean, ds.Y)
+	return &core.Problem{
+		Input:            ds.Input,
+		Master:           ds.Master,
+		Match:            ds.Match,
+		Y:                ds.Y,
+		Ym:               ds.Ym,
+		SupportThreshold: ds.SupportThreshold,
+		TopK:             20,
+	}, truth
+}
+
+func TestEnuMinerSmoke(t *testing.T) {
+	p, truth := buildProblem(t, 7)
+	res, err := enuminer.New(enuminer.Config{}).Mine(p)
+	if err != nil {
+		t.Fatalf("EnuMiner: %v", err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatalf("EnuMiner found no rules (explored %d)", res.Explored)
+	}
+	t.Logf("EnuMiner: %d rules, explored %d", len(res.Rules), res.Explored)
+	for i, r := range res.Rules[:minInt(3, len(res.Rules))] {
+		t.Logf("  #%d U=%.2f S=%d C=%.2f Q=%.2f  %s",
+			i, r.Measures.Utility, r.Measures.Support,
+			r.Measures.Certainty, r.Measures.Quality,
+			r.Rule.String(p.Input, p.Master.Schema()))
+	}
+
+	ev := p.NewEvaluator()
+	fixes := repair.Apply(ev, res.RuleList())
+	prf := metrics.Weighted(fixes.Pred, truth)
+	t.Logf("EnuMiner repair: covered=%d P=%.3f R=%.3f F1=%.3f",
+		fixes.Covered, prf.Precision, prf.Recall, prf.F1)
+	if prf.F1 < 0.3 {
+		t.Errorf("EnuMiner repair F1 = %.3f, want >= 0.3", prf.F1)
+	}
+}
+
+func TestRLMinerSmoke(t *testing.T) {
+	p, truth := buildProblem(t, 7)
+	m := rlminer.New(rlminer.Config{TrainSteps: 3000, Seed: 11})
+	res, err := m.Mine(p)
+	if err != nil {
+		t.Fatalf("RLMiner: %v", err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatalf("RLMiner found no rules (explored %d)", res.Explored)
+	}
+	st := m.Stats()
+	t.Logf("RLMiner: %d rules, explored %d, episodes %d, infer steps %d",
+		len(res.Rules), res.Explored, st.Episodes, st.InferenceSteps)
+	for i, r := range res.Rules[:minInt(3, len(res.Rules))] {
+		t.Logf("  #%d U=%.2f S=%d C=%.2f Q=%.2f  %s",
+			i, r.Measures.Utility, r.Measures.Support,
+			r.Measures.Certainty, r.Measures.Quality,
+			r.Rule.String(p.Input, p.Master.Schema()))
+	}
+
+	ev := p.NewEvaluator()
+	fixes := repair.Apply(ev, res.RuleList())
+	prf := metrics.Weighted(fixes.Pred, truth)
+	t.Logf("RLMiner repair: covered=%d P=%.3f R=%.3f F1=%.3f",
+		fixes.Covered, prf.Precision, prf.Recall, prf.F1)
+	if prf.F1 < 0.25 {
+		t.Errorf("RLMiner repair F1 = %.3f, want >= 0.25", prf.F1)
+	}
+	_ = relation.Null
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

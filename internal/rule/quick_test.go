@@ -1,0 +1,137 @@
+package rule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a rule's canonical key is invariant under permutation of the
+// LHS pairs and pattern conditions passed to New.
+func TestKeyPermutationInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var lhs []AttrPair
+		for a := 0; a < 5; a++ {
+			if rng.Intn(2) == 0 {
+				lhs = append(lhs, AttrPair{Input: a, Master: rng.Intn(5)})
+			}
+		}
+		var pat []Condition
+		for a := 0; a < 5; a++ {
+			if rng.Intn(3) == 0 {
+				pat = append(pat, Eq(a, int32(rng.Intn(4))))
+			}
+		}
+		r1 := New(lhs, 9, 9, pat)
+		// Shuffle both lists and rebuild.
+		rng.Shuffle(len(lhs), func(i, j int) { lhs[i], lhs[j] = lhs[j], lhs[i] })
+		rng.Shuffle(len(pat), func(i, j int) { pat[i], pat[j] = pat[j], pat[i] })
+		r2 := New(lhs, 9, 9, pat)
+		return r1.Key() == r2.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: domination is transitive along refinement chains.
+func TestDominationTransitiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r0 := New([]AttrPair{{0, 0}}, 9, 9, nil)
+		r1 := r0
+		// Two successive random refinements.
+		refine := func(r *Rule) *Rule {
+			for tries := 0; tries < 10; tries++ {
+				if rng.Intn(2) == 0 {
+					a := 1 + rng.Intn(4)
+					if !r.HasLHSAttr(a) {
+						return r.WithLHS(a, a)
+					}
+				} else {
+					a := rng.Intn(5)
+					if !r.HasPatternAttr(a) {
+						return r.WithCondition(Eq(a, int32(rng.Intn(3))))
+					}
+				}
+			}
+			return r.WithCondition(Eq(7, 0))
+		}
+		r1 = refine(r0)
+		r2 := refine(r1)
+		// r0 < r1 and r1 < r2 must imply r0 < r2.
+		if Dominates(r0, r1) && Dominates(r1, r2) && !Dominates(r0, r2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: negated and positive conditions on the same code partition
+// the non-Null values.
+func TestNegationPartitionProperty(t *testing.T) {
+	f := func(codesRaw []int32, probe int32) bool {
+		if probe < 0 {
+			probe = -probe
+		}
+		var codes []int32
+		for _, c := range codesRaw {
+			if c >= 0 {
+				codes = append(codes, c)
+			}
+		}
+		if len(codes) == 0 {
+			return true
+		}
+		pos := NewCondition(0, codes, "")
+		neg := pos
+		neg.Negate = true
+		// Exactly one of them matches any non-Null probe.
+		return pos.Matches(probe) != neg.Matches(probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNotEq(t *testing.T) {
+	c := NotEq(2, 5)
+	if !c.Negate || c.Attr != 2 {
+		t.Errorf("NotEq = %+v", c)
+	}
+	if c.Matches(5) {
+		t.Error("negated condition matched its own code")
+	}
+	if !c.Matches(6) {
+		t.Error("negated condition rejected another code")
+	}
+	if c.Matches(-1) {
+		t.Error("negated condition matched Null")
+	}
+}
+
+func TestNegatedKeyDistinct(t *testing.T) {
+	a := New(nil, 9, 9, []Condition{Eq(0, 1)})
+	b := New(nil, 9, 9, []Condition{NotEq(0, 1)})
+	if a.Key() == b.Key() {
+		t.Error("negated and positive conditions share a key")
+	}
+}
+
+func TestNegatedDomination(t *testing.T) {
+	// A negated condition only matches the identical negated condition
+	// in domination checks.
+	base := New([]AttrPair{{0, 0}}, 9, 9, []Condition{NotEq(1, 2)})
+	same := base.WithLHS(2, 2)
+	if !Dominates(base, same) {
+		t.Error("negated pattern blocked legitimate domination")
+	}
+	flipped := New([]AttrPair{{0, 0}, {2, 2}}, 9, 9, []Condition{Eq(1, 2)})
+	if Dominates(base, flipped) {
+		t.Error("negated pattern dominated its positive twin")
+	}
+}

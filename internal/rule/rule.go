@@ -1,0 +1,293 @@
+// Package rule implements the editing-rule (eR) formalism of the paper
+// (Definition 1): φ = ((X, X_m) → (Y, Y_m), t_p), together with pattern
+// and rule domination (Definitions 2–3) and non-redundant rule sets
+// (Definition 4).
+//
+// A pattern condition generalises the paper's single-constant t_p[A] = a
+// to a set of codes on attribute A. A singleton set is exactly the
+// paper's constant condition; a larger set represents one encoding unit
+// produced by continuous-range splitting or prefix-bucket domain
+// compression (§IV-A), where one action/state dimension stands for a
+// group of raw values.
+package rule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"erminer/internal/relation"
+)
+
+// AttrPair is one (A, A_m) pair in LHS(φ): Input indexes the input schema
+// R, Master indexes the master schema R_m.
+type AttrPair struct {
+	Input  int
+	Master int
+}
+
+// Condition is one conjunct of the pattern tuple t_p: the input tuple's
+// value on Attr must be one of Codes (or, when Negate is set, must be a
+// non-Null value outside Codes — the ā form of Fan et al. [18] that the
+// paper omits for simplicity and this implementation supports as an
+// optional extension). Codes is sorted ascending and contains no
+// duplicates and never relation.Null.
+type Condition struct {
+	Attr  int
+	Codes []int32
+	// Negate flips the membership test: t_p[Attr] ≠ a.
+	Negate bool
+	// Label is an optional human-readable description of the code set,
+	// e.g. "age∈[28,37)" for a continuous range. It does not take part
+	// in equality or domination.
+	Label string
+}
+
+// NewCondition builds a condition, normalising (sorting, deduplicating)
+// the code set.
+func NewCondition(attr int, codes []int32, label string) Condition {
+	cs := append([]int32(nil), codes...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	out := cs[:0]
+	var prev int32 = -2
+	for _, c := range cs {
+		if c == relation.Null {
+			continue
+		}
+		if c != prev {
+			out = append(out, c)
+			prev = c
+		}
+	}
+	return Condition{Attr: attr, Codes: out, Label: label}
+}
+
+// Eq builds the paper's constant condition t_p[attr] = code.
+func Eq(attr int, code int32) Condition {
+	return Condition{Attr: attr, Codes: []int32{code}}
+}
+
+// NotEq builds the negated constant condition t_p[attr] ≠ code (the ā
+// form of [18]).
+func NotEq(attr int, code int32) Condition {
+	return Condition{Attr: attr, Codes: []int32{code}, Negate: true}
+}
+
+// Matches reports whether code satisfies the condition. A Null value
+// never matches — not even a negated condition, since a missing value
+// provides no evidence either way.
+func (c Condition) Matches(code int32) bool {
+	if code == relation.Null {
+		return false
+	}
+	return c.contains(code) != c.Negate
+}
+
+func (c Condition) contains(code int32) bool {
+	// Codes is sorted; binary search.
+	lo, hi := 0, len(c.Codes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case c.Codes[mid] == code:
+			return true
+		case c.Codes[mid] < code:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// SameCodes reports whether two conditions constrain the same attribute to
+// the same code set with the same polarity.
+func (c Condition) SameCodes(o Condition) bool {
+	if c.Attr != o.Attr || c.Negate != o.Negate || len(c.Codes) != len(o.Codes) {
+		return false
+	}
+	for i := range c.Codes {
+		if c.Codes[i] != o.Codes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rule is one editing rule φ = ((X, X_m) → (Y, Y_m), t_p).
+//
+// LHS holds the matched attribute pairs (X, X_m); Pattern holds the
+// conjuncts of t_p. Both are kept sorted (LHS by input attribute, Pattern
+// by attribute then first code) so that equal rules have equal canonical
+// keys.
+type Rule struct {
+	LHS     []AttrPair
+	Y       int // dependent attribute in R
+	Ym      int // dependent attribute in R_m
+	Pattern []Condition
+}
+
+// New builds a rule, normalising the order of LHS and Pattern.
+func New(lhs []AttrPair, y, ym int, pattern []Condition) *Rule {
+	r := &Rule{
+		LHS:     append([]AttrPair(nil), lhs...),
+		Y:       y,
+		Ym:      ym,
+		Pattern: append([]Condition(nil), pattern...),
+	}
+	r.normalise()
+	return r
+}
+
+func (r *Rule) normalise() {
+	sort.Slice(r.LHS, func(i, j int) bool {
+		if r.LHS[i].Input != r.LHS[j].Input {
+			return r.LHS[i].Input < r.LHS[j].Input
+		}
+		return r.LHS[i].Master < r.LHS[j].Master
+	})
+	sort.Slice(r.Pattern, func(i, j int) bool {
+		a, b := r.Pattern[i], r.Pattern[j]
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		if len(a.Codes) == 0 || len(b.Codes) == 0 {
+			return len(a.Codes) < len(b.Codes)
+		}
+		return a.Codes[0] < b.Codes[0]
+	})
+}
+
+// Clone returns a deep copy of the rule.
+func (r *Rule) Clone() *Rule {
+	c := &Rule{
+		LHS:     append([]AttrPair(nil), r.LHS...),
+		Y:       r.Y,
+		Ym:      r.Ym,
+		Pattern: make([]Condition, len(r.Pattern)),
+	}
+	for i, p := range r.Pattern {
+		c.Pattern[i] = Condition{
+			Attr:   p.Attr,
+			Codes:  append([]int32(nil), p.Codes...),
+			Negate: p.Negate,
+			Label:  p.Label,
+		}
+	}
+	return c
+}
+
+// WithLHS returns a copy of the rule with (a, am) added to LHS.
+func (r *Rule) WithLHS(a, am int) *Rule {
+	c := r.Clone()
+	c.LHS = append(c.LHS, AttrPair{Input: a, Master: am})
+	c.normalise()
+	return c
+}
+
+// WithCondition returns a copy of the rule with cond added to the pattern.
+func (r *Rule) WithCondition(cond Condition) *Rule {
+	c := r.Clone()
+	c.Pattern = append(c.Pattern, cond)
+	c.normalise()
+	return c
+}
+
+// HasLHSAttr reports whether input attribute a appears in X.
+func (r *Rule) HasLHSAttr(a int) bool {
+	for _, p := range r.LHS {
+		if p.Input == a {
+			return true
+		}
+	}
+	return false
+}
+
+// HasPatternAttr reports whether attribute a appears in X_p.
+func (r *Rule) HasPatternAttr(a int) bool {
+	for _, c := range r.Pattern {
+		if c.Attr == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a canonical string key identifying the rule. Two rules have
+// equal keys iff they have the same LHS, dependent pair and pattern
+// (labels excluded).
+func (r *Rule) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Y%d:%d|L", r.Y, r.Ym)
+	for _, p := range r.LHS {
+		fmt.Fprintf(&b, "(%d,%d)", p.Input, p.Master)
+	}
+	b.WriteString("|P")
+	for _, c := range r.Pattern {
+		if c.Negate {
+			fmt.Fprintf(&b, "(!%d:", c.Attr)
+		} else {
+			fmt.Fprintf(&b, "(%d:", c.Attr)
+		}
+		for i, code := range c.Codes {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", code)
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// MatchesPattern reports whether input tuple row of rel matches t_p.
+func (r *Rule) MatchesPattern(rel *relation.Relation, row int) bool {
+	for _, c := range r.Pattern {
+		if !c.Matches(rel.Code(row, c.Attr)) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule using attribute names from the two schemas and
+// values from the input relation's dictionaries.
+func (r *Rule) String(input *relation.Relation, rm *relation.Schema) string {
+	rs := input.Schema()
+	var b strings.Builder
+	b.WriteString("((")
+	for i, p := range r.LHS {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%s,%s)", rs.Attr(p.Input).Name, rm.Attr(p.Master).Name)
+	}
+	fmt.Fprintf(&b, ") -> (%s,%s), tp[", rs.Attr(r.Y).Name, rm.Attr(r.Ym).Name)
+	for i, c := range r.Pattern {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if c.Label != "" {
+			b.WriteString(c.Label)
+			continue
+		}
+		op, setOp := "=", "∈"
+		if c.Negate {
+			op, setOp = "≠", "∉"
+		}
+		if len(c.Codes) == 1 {
+			fmt.Fprintf(&b, "%s%s%s", rs.Attr(c.Attr).Name, op, input.Dict(c.Attr).Value(c.Codes[0]))
+		} else {
+			fmt.Fprintf(&b, "%s%s{", rs.Attr(c.Attr).Name, setOp)
+			for j, code := range c.Codes {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(input.Dict(c.Attr).Value(code))
+			}
+			b.WriteByte('}')
+		}
+	}
+	b.WriteString("])")
+	return b.String()
+}

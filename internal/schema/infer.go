@@ -1,0 +1,131 @@
+package schema
+
+import (
+	"strings"
+
+	"erminer/internal/relation"
+)
+
+// InferConfig tunes the automatic matcher.
+type InferConfig struct {
+	// MinJaccard is the minimum Jaccard overlap of two columns' value
+	// sets for a match. Zero means the default 0.3.
+	MinJaccard float64
+	// MaxPerAttr caps how many master attributes one input attribute may
+	// match; zero means 1 (the common case in practice and in all of
+	// the paper's datasets).
+	MaxPerAttr int
+	// NameBonus is added to the Jaccard score when the (case-folded)
+	// attribute names are equal; zero means the default 0.25.
+	NameBonus float64
+}
+
+func (c InferConfig) minJaccard() float64 {
+	if c.MinJaccard > 0 {
+		return c.MinJaccard
+	}
+	return 0.3
+}
+
+func (c InferConfig) maxPerAttr() int {
+	if c.MaxPerAttr > 0 {
+		return c.MaxPerAttr
+	}
+	return 1
+}
+
+func (c InferConfig) nameBonus() float64 {
+	if c.NameBonus != 0 {
+		return c.NameBonus
+	}
+	return 0.25
+}
+
+// InferMatch discovers the schema match M from the data itself: two
+// columns match when their value sets overlap (Jaccard similarity over
+// distinct string values), with a bonus for equal attribute names. The
+// paper assumes M is given (§II-C, citing schema-matching surveys [28],
+// [33]); this instance-based matcher is the substrate for users who do
+// not have one.
+//
+// It compares string values, so the two relations need not share
+// dictionaries. Each input attribute matches at most MaxPerAttr master
+// attributes, greedily by score.
+func InferMatch(input, master *relation.Relation, cfg InferConfig) *Match {
+	type cand struct {
+		a, am int
+		score float64
+	}
+	var cands []cand
+	inSets := columnValueSets(input)
+	msSets := columnValueSets(master)
+
+	for a := 0; a < input.Schema().Len(); a++ {
+		for am := 0; am < master.Schema().Len(); am++ {
+			j := jaccard(inSets[a], msSets[am])
+			if strings.EqualFold(input.Schema().Attr(a).Name, master.Schema().Attr(am).Name) {
+				j += cfg.nameBonus()
+			}
+			if j >= cfg.minJaccard() {
+				cands = append(cands, cand{a: a, am: am, score: j})
+			}
+		}
+	}
+	// Greedy by descending score; ties break on (a, am) for determinism.
+	for i := 1; i < len(cands); i++ {
+		for k := i; k > 0; k-- {
+			x, y := cands[k], cands[k-1]
+			if x.score > y.score ||
+				(x.score == y.score && (x.a < y.a || (x.a == y.a && x.am < y.am))) {
+				cands[k], cands[k-1] = cands[k-1], cands[k]
+			} else {
+				break
+			}
+		}
+	}
+
+	m := NewMatch()
+	perAttr := make(map[int]int)
+	usedMaster := make(map[int]bool)
+	for _, c := range cands {
+		if perAttr[c.a] >= cfg.maxPerAttr() || usedMaster[c.am] {
+			continue
+		}
+		m.Add(c.a, c.am)
+		perAttr[c.a]++
+		usedMaster[c.am] = true
+	}
+	return m
+}
+
+func columnValueSets(r *relation.Relation) []map[string]struct{} {
+	out := make([]map[string]struct{}, r.Schema().Len())
+	for col := range out {
+		set := make(map[string]struct{})
+		for row := 0; row < r.NumRows(); row++ {
+			if c := r.Code(row, col); c != relation.Null {
+				set[r.Dict(col).Value(c)] = struct{}{}
+			}
+		}
+		out[col] = set
+	}
+	return out
+}
+
+func jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, big := a, b
+	if len(small) > len(big) {
+		small, big = big, small
+	}
+	inter := 0
+	for v := range small {
+		if _, ok := big[v]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,130 @@
+package schema
+
+import (
+	"fmt"
+	"testing"
+
+	"erminer/internal/relation"
+)
+
+// inferFixture: input(city, zip, note) vs master(town, zipcode, id).
+// city/town share values (different names); zip/zipcode share values AND
+// case-folded-distinct names; note and id are unique-per-table.
+func inferFixture() (*relation.Relation, *relation.Relation) {
+	in := relation.NewSchema(
+		relation.Attribute{Name: "city"},
+		relation.Attribute{Name: "Zip"},
+		relation.Attribute{Name: "note"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "town"},
+		relation.Attribute{Name: "zip"},
+		relation.Attribute{Name: "id"},
+	)
+	input := relation.New(in, relation.NewPool())
+	master := relation.New(ms, relation.NewPool())
+	cities := []string{"HZ", "BJ", "SZ", "SH", "GZ"}
+	for i := 0; i < 50; i++ {
+		input.AppendRow([]string{
+			cities[i%5], fmt.Sprintf("%05d", 10000+i%10), fmt.Sprintf("note-%d", i),
+		})
+		master.AppendRow([]string{
+			cities[i%5], fmt.Sprintf("%05d", 10000+i%10), fmt.Sprintf("id-%d", i),
+		})
+	}
+	return input, master
+}
+
+func TestInferMatchFindsOverlaps(t *testing.T) {
+	input, master := inferFixture()
+	m := InferMatch(input, master, InferConfig{})
+	if got := m.Of(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("city match = %v, want [0] (town)", got)
+	}
+	if got := m.Of(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("zip match = %v, want [1]", got)
+	}
+	if m.Matched(2) {
+		t.Error("note matched something")
+	}
+}
+
+func TestInferMatchDisjointColumns(t *testing.T) {
+	in := relation.NewSchema(relation.Attribute{Name: "a"})
+	ms := relation.NewSchema(relation.Attribute{Name: "b"})
+	input := relation.New(in, relation.NewPool())
+	master := relation.New(ms, relation.NewPool())
+	for i := 0; i < 20; i++ {
+		input.AppendRow([]string{fmt.Sprintf("x%d", i)})
+		master.AppendRow([]string{fmt.Sprintf("y%d", i)})
+	}
+	m := InferMatch(input, master, InferConfig{})
+	if m.Size() != 0 {
+		t.Errorf("disjoint columns matched: %d pairs", m.Size())
+	}
+}
+
+func TestInferMatchNameBonus(t *testing.T) {
+	// Values overlap only partially, below the raw threshold, but the
+	// equal name lifts the score over it.
+	in := relation.NewSchema(relation.Attribute{Name: "status"})
+	ms := relation.NewSchema(relation.Attribute{Name: "STATUS"})
+	input := relation.New(in, relation.NewPool())
+	master := relation.New(ms, relation.NewPool())
+	for i := 0; i < 10; i++ {
+		input.AppendRow([]string{fmt.Sprintf("s%d", i)})
+		master.AppendRow([]string{fmt.Sprintf("s%d", i+9)}) // 1 of 19 shared
+	}
+	m := InferMatch(input, master, InferConfig{MinJaccard: 0.2})
+	if !m.Matched(0) {
+		t.Error("name bonus did not rescue the near-miss")
+	}
+	m2 := InferMatch(input, master, InferConfig{MinJaccard: 0.2, NameBonus: -1e-9})
+	if m2.Matched(0) {
+		t.Error("match found without the bonus despite tiny overlap")
+	}
+}
+
+func TestInferMatchOneToOne(t *testing.T) {
+	// Two master columns with identical content: each input attribute
+	// takes only one (the greedy assignment marks masters used).
+	in := relation.NewSchema(relation.Attribute{Name: "c"})
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "c1"},
+		relation.Attribute{Name: "c2"},
+	)
+	input := relation.New(in, relation.NewPool())
+	master := relation.New(ms, relation.NewPool())
+	for i := 0; i < 10; i++ {
+		v := fmt.Sprintf("v%d", i%3)
+		input.AppendRow([]string{v})
+		master.AppendRow([]string{v, v})
+	}
+	m := InferMatch(input, master, InferConfig{})
+	if got := len(m.Of(0)); got != 1 {
+		t.Errorf("matched %d master attrs, want 1 (MaxPerAttr default)", got)
+	}
+	m2 := InferMatch(input, master, InferConfig{MaxPerAttr: 2})
+	if got := len(m2.Of(0)); got != 2 {
+		t.Errorf("MaxPerAttr=2 matched %d", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	set := func(vs ...string) map[string]struct{} {
+		out := make(map[string]struct{})
+		for _, v := range vs {
+			out[v] = struct{}{}
+		}
+		return out
+	}
+	if got := jaccard(set("a", "b"), set("b", "c")); got != 1.0/3.0 {
+		t.Errorf("jaccard = %g, want 1/3", got)
+	}
+	if got := jaccard(set(), set("a")); got != 0 {
+		t.Errorf("empty jaccard = %g", got)
+	}
+	if got := jaccard(set("a"), set("a")); got != 1 {
+		t.Errorf("identical jaccard = %g", got)
+	}
+}

@@ -1,0 +1,97 @@
+package schema
+
+import (
+	"testing"
+
+	"erminer/internal/relation"
+)
+
+func schemas() (*relation.Schema, *relation.Schema) {
+	r := relation.NewSchema(
+		relation.Attribute{Name: "city"},
+		relation.Attribute{Name: "zip"},
+		relation.Attribute{Name: "overseas"}, // input-only
+	)
+	rm := relation.NewSchema(
+		relation.Attribute{Name: "city"},
+		relation.Attribute{Name: "zipcode", Domain: "zip"},
+		relation.Attribute{Name: "province"},
+	)
+	return r, rm
+}
+
+func TestMatchAddAndQuery(t *testing.T) {
+	m := NewMatch()
+	m.Add(0, 0)
+	m.Add(1, 1)
+	m.Add(0, 0) // duplicate ignored
+	if got := m.Size(); got != 2 {
+		t.Fatalf("Size = %d, want 2", got)
+	}
+	if !m.Matched(0) || !m.Matched(1) || m.Matched(2) {
+		t.Error("Matched flags wrong")
+	}
+	if got := m.Of(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Of(0) = %v", got)
+	}
+	if got := m.Of(99); got != nil {
+		t.Errorf("Of(unmatched) = %v, want nil", got)
+	}
+	attrs := m.InputAttrs()
+	if len(attrs) != 2 || attrs[0] != 0 || attrs[1] != 1 {
+		t.Errorf("InputAttrs = %v", attrs)
+	}
+}
+
+func TestMatchPairsDeterministicOrder(t *testing.T) {
+	m := NewMatch()
+	m.Add(2, 1)
+	m.Add(0, 2)
+	m.Add(0, 0)
+	pairs := m.Pairs()
+	want := [][2]int{{0, 0}, {0, 2}, {2, 1}}
+	if len(pairs) != len(want) {
+		t.Fatalf("Pairs = %v", pairs)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Errorf("Pairs[%d] = %v, want %v", i, pairs[i], want[i])
+		}
+	}
+}
+
+func TestFromNames(t *testing.T) {
+	r, rm := schemas()
+	m, err := FromNames(r, rm, map[string]string{"city": "city", "zip": "zipcode"})
+	if err != nil {
+		t.Fatalf("FromNames: %v", err)
+	}
+	if m.Size() != 2 {
+		t.Errorf("Size = %d", m.Size())
+	}
+	if _, err := FromNames(r, rm, map[string]string{"bogus": "city"}); err == nil {
+		t.Error("unknown input attribute accepted")
+	}
+	if _, err := FromNames(r, rm, map[string]string{"city": "bogus"}); err == nil {
+		t.Error("unknown master attribute accepted")
+	}
+}
+
+func TestAutoMatchByDomain(t *testing.T) {
+	r, rm := schemas()
+	m := AutoMatch(r, rm)
+	// city matches city (same default domain); zip matches zipcode
+	// (explicit shared domain); overseas and province stay unmatched.
+	if m.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", m.Size())
+	}
+	if got := m.Of(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("city match = %v", got)
+	}
+	if got := m.Of(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("zip match = %v", got)
+	}
+	if m.Matched(2) {
+		t.Error("input-only attribute matched")
+	}
+}

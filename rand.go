@@ -1,0 +1,9 @@
+package erminer
+
+import "math/rand"
+
+// newRand returns a seeded PRNG. All randomness in the library flows
+// through explicit seeds so experiments are reproducible.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
