@@ -1,0 +1,19 @@
+# Developer entry points. `make check` is the gate every change must
+# pass: vet + build + race-enabled tests (see scripts/check.sh).
+
+.PHONY: check test bench build
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The paper-artifact benchmarks plus the parallel-engine benchmarks
+# (BenchmarkEvaluateParallel / BenchmarkEnuMinerParallel report their
+# speedup over the serial path; baseline in BENCH_parallel.json).
+bench:
+	go test -run XXX -bench . -benchmem .

@@ -21,7 +21,18 @@ import (
 // these aliases are the supported public surface.
 type (
 	// Problem is one editing-rule discovery instance (paper Problem 1).
+	// Its Parallelism field sets the worker budget of the parallel
+	// evaluation engine (0 = all CPUs, 1 = serial; results are
+	// bit-identical either way), and Problem.ShareIndexes equips it
+	// with a shared master-index cache reused across mining, reward
+	// queries and repair.
 	Problem = core.Problem
+	// IndexCache is the thread-safe, build-once master-index cache
+	// shared by parallel evaluator shards. Attach one to a Problem with
+	// Problem.ShareIndexes, or set the IndexCache field directly with
+	// NewIndexCache to share indexes across problems over the same
+	// master data.
+	IndexCache = measure.IndexCache
 	// Miner is a rule-discovery algorithm.
 	Miner = core.Miner
 	// MinedRule pairs a discovered rule with its measures.
@@ -50,6 +61,10 @@ type (
 
 // Null is the dictionary code of a missing value.
 const Null = relation.Null
+
+// NewIndexCache returns an empty shared master-index cache (see the
+// IndexCache alias).
+func NewIndexCache() *IndexCache { return measure.NewIndexCache() }
 
 // EnuMinerConfig configures the enumeration miner.
 type EnuMinerConfig = enuminer.Config

@@ -1,6 +1,7 @@
 package erminer_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -161,5 +162,59 @@ func TestDuplicateRateSpec(t *testing.T) {
 	}
 	if ds.Input().NumRows() != 300 {
 		t.Errorf("rows = %d", ds.Input().NumRows())
+	}
+}
+
+// TestParallelismPublicSurface drives the parallel-engine knobs through
+// the public façade: Problem.Parallelism, Problem.ShareIndexes and
+// NewIndexCache. Parallel mining must match the serial path exactly.
+func TestParallelismPublicSurface(t *testing.T) {
+	ds, err := erminer.BuildDataset("covid", erminer.DatasetSpec{
+		InputSize: 300, MasterSize: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.InjectErrors(erminer.NoiseConfig{Rate: 0.1, Seed: 2})
+
+	mine := func(workers int) *erminer.ResultSet {
+		p := ds.Problem(0)
+		p.TopK = 10
+		p.Parallelism = workers
+		p.ShareIndexes()
+		if p.IndexCache == nil {
+			t.Fatal("ShareIndexes left IndexCache nil")
+		}
+		res, err := erminer.NewEnuMinerH3(erminer.EnuMinerConfig{}).Mine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := mine(1)
+	parallel := mine(4)
+	if serial.Explored != parallel.Explored || len(serial.Rules) != len(parallel.Rules) {
+		t.Fatalf("parallel mine diverged: explored %d/%d, rules %d/%d",
+			parallel.Explored, serial.Explored, len(parallel.Rules), len(serial.Rules))
+	}
+	for i := range serial.Rules {
+		if serial.Rules[i].Rule.Key() != parallel.Rules[i].Rule.Key() ||
+			!reflect.DeepEqual(serial.Rules[i].Measures, parallel.Rules[i].Measures) {
+			t.Fatalf("rule %d diverged between serial and parallel mine", i)
+		}
+	}
+
+	// An explicitly shared cache can span problems over the same data.
+	cache := erminer.NewIndexCache()
+	p := ds.Problem(0)
+	p.IndexCache = cache
+	if _, err := erminer.NewEnuMinerH3(erminer.EnuMinerConfig{}).Mine(p); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("shared cache not populated by mining")
+	}
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
 	}
 }

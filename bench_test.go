@@ -13,11 +13,14 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"erminer/internal/core"
 	"erminer/internal/datagen"
+	"erminer/internal/enuminer"
 	"erminer/internal/errgen"
 	"erminer/internal/experiments"
 	"erminer/internal/mdp"
@@ -302,6 +305,84 @@ func BenchmarkEnvStep(b *testing.B) {
 		}
 		env.Step(i % env.ActionDim())
 	}
+}
+
+// minNs times f runs times and returns the fastest wall-clock
+// nanoseconds — the serial baseline the parallel benchmarks report
+// their speedup against.
+func minNs(runs int, f func()) float64 {
+	var best time.Duration
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); i == 0 || d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds())
+}
+
+// BenchmarkEvaluateParallel measures a full-relation pattern scan (the
+// Evaluate parentCover == nil path) chunked across all CPUs on a large
+// input, reporting the speedup over the same scan at Parallelism 1.
+// The parallel and serial scans return bit-identical covers; the
+// recorded baseline lives in BENCH_parallel.json.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	ds, err := datagen.Covid().Build(datagen.DefaultSpec(40000, 1824, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &core.Problem{
+		Input: ds.Input, Master: ds.Master, Match: ds.Match,
+		Y: ds.Y, Ym: ds.Ym, SupportThreshold: ds.SupportThreshold,
+	}
+	ov := p.Input.Schema().MustIndex("overseas")
+	no, ok := p.Input.Dict(ov).Lookup("No")
+	if !ok {
+		b.Fatal("No not interned")
+	}
+	scan := rule.New(nil, p.Y, p.Ym, nil).WithCondition(rule.Eq(ov, no))
+
+	serial := p.NewEvaluator()
+	serial.Parallelism = 1
+	par := p.NewEvaluator() // Parallelism defaults to NumCPU
+
+	serialNs := minNs(5, func() { serial.Evaluate(scan, nil) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.Evaluate(scan, nil)
+	}
+	b.ReportMetric(serialNs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "speedup")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+}
+
+// BenchmarkEnuMinerParallel measures a full EnuMinerH3 mine on the
+// level-synchronized parallel frontier against the serial walk,
+// reporting the speedup. A sanity check asserts the two walks explored
+// identically; the recorded baseline lives in BENCH_parallel.json.
+func BenchmarkEnuMinerParallel(b *testing.B) {
+	p := benchProblem(b)
+	mine := func(workers int) *core.ResultSet {
+		res, err := enuminer.NewH3(enuminer.Config{Parallelism: workers}).Mine(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	base := mine(1)
+	serialNs := minNs(3, func() { mine(1) })
+	b.ResetTimer()
+	var res *core.ResultSet
+	for i := 0; i < b.N; i++ {
+		res = mine(0) // 0 = one worker per CPU
+	}
+	b.StopTimer()
+	if res.Explored != base.Explored || len(res.Rules) != len(base.Rules) {
+		b.Fatalf("parallel walk diverged: explored %d/%d rules %d/%d",
+			res.Explored, base.Explored, len(res.Rules), len(base.Rules))
+	}
+	b.ReportMetric(serialNs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "speedup")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
 }
 
 // BenchmarkUtility measures the plain utility computation.

@@ -19,6 +19,10 @@
 //	-load-model model.bin       fine-tune a persisted model (RLMiner-ft)
 //
 // Methods: rlminer (default), enuminer, enuminerh3, ctane.
+//
+// Evaluation runs on the parallel engine by default (-parallel 0 = one
+// worker per CPU); -parallel 1 forces the serial path. Results are
+// bit-identical at any worker count.
 package main
 
 import (
@@ -41,6 +45,7 @@ type options struct {
 	master    int
 	eta       int
 	steps     int
+	parallel  int
 	doRepair  bool
 	verbose   bool
 	inputCSV  string
@@ -64,6 +69,7 @@ func main() {
 	flag.IntVar(&o.master, "master", 0, "master size (0 = paper default; benchmark mode)")
 	flag.IntVar(&o.eta, "eta", 0, "support threshold (0 = dataset default)")
 	flag.IntVar(&o.steps, "steps", 5000, "RLMiner training steps")
+	flag.IntVar(&o.parallel, "parallel", 0, "evaluation workers (0 = all CPUs, 1 = serial; results are identical at any setting)")
 	flag.BoolVar(&o.doRepair, "repair", true, "apply rules and report results")
 	flag.BoolVar(&o.verbose, "v", false, "print every discovered rule")
 	flag.StringVar(&o.inputCSV, "input-csv", "", "input CSV path (enables CSV mode)")
@@ -130,10 +136,14 @@ func run(o options) (err error) {
 		truth = ds.Truth()
 	}
 	p.TopK = o.k
-	fmt.Printf("problem: input %d×%d, master %d×%d, |M|=%d, η_s=%d, K=%d\n",
+	p.Parallelism = o.parallel
+	// One shared master-index cache across mining, reward queries,
+	// repair and explanations: no component rebuilds another's indexes.
+	p.ShareIndexes()
+	fmt.Printf("problem: input %d×%d, master %d×%d, |M|=%d, η_s=%d, K=%d, workers=%d\n",
 		p.Input.NumRows(), p.Input.Schema().Len(),
 		p.Master.NumRows(), p.Master.Schema().Len(),
-		p.Match.Size(), p.SupportThreshold, p.K())
+		p.Match.Size(), p.SupportThreshold, p.K(), p.Workers())
 
 	var res *erminer.ResultSet
 	var rlm *erminer.RLMiner

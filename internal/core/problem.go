@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"erminer/internal/measure"
 	"erminer/internal/relation"
@@ -37,6 +38,16 @@ type Problem struct {
 	SupportThreshold int
 	// TopK is the rule budget K (Problem 1); 0 means the paper default.
 	TopK int
+	// Parallelism is the worker budget of the parallel evaluation
+	// engine: the miners' frontier fan-out and the evaluator's chunked
+	// full-relation scans. Zero selects runtime.NumCPU(); 1 forces the
+	// exact serial path. Every setting produces a bit-identical result
+	// (DESIGN.md decision 11).
+	Parallelism int
+	// IndexCache, when non-nil, is borrowed by every evaluator built
+	// for this problem, so mining, MDP reward queries and repair reuse
+	// the same built master indexes. See ShareIndexes.
+	IndexCache *measure.IndexCache
 }
 
 // DefaultTopK is the paper's K = 50 (§V-A2).
@@ -65,6 +76,8 @@ func (p *Problem) Validate() error {
 		return fmt.Errorf("core: Ym index %d out of range", p.Ym)
 	case p.SupportThreshold < 0:
 		return fmt.Errorf("core: negative support threshold")
+	case p.Parallelism < 0:
+		return fmt.Errorf("core: negative parallelism")
 	case p.Truth != nil && len(p.Truth) != p.Input.NumRows():
 		return fmt.Errorf("core: Truth has %d entries for %d input tuples",
 			len(p.Truth), p.Input.NumRows())
@@ -72,9 +85,39 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
-// NewEvaluator builds the measure evaluator for the problem.
+// Workers returns the effective parallelism: Parallelism when set,
+// otherwise the machine's CPU count.
+func (p *Problem) Workers() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// ShareIndexes equips the problem with a shared master-index cache, so
+// every evaluator subsequently built from it — by the miners, the MDP
+// reward path and the repair engine — reuses the same built indexes
+// instead of rebuilding them per component. Idempotent; returns p for
+// chaining.
+func (p *Problem) ShareIndexes() *Problem {
+	if p.IndexCache == nil {
+		p.IndexCache = measure.NewIndexCache()
+	}
+	return p
+}
+
+// NewEvaluator builds the measure evaluator for the problem, borrowing
+// the shared index cache when one is set and inheriting the problem's
+// worker budget for full-relation scans.
 func (p *Problem) NewEvaluator() *measure.Evaluator {
-	return measure.NewEvaluator(p.Input, p.Master, p.Truth)
+	var ev *measure.Evaluator
+	if p.IndexCache != nil {
+		ev = measure.NewSharedEvaluator(p.Input, p.Master, p.Truth, p.IndexCache)
+	} else {
+		ev = measure.NewEvaluator(p.Input, p.Master, p.Truth)
+	}
+	ev.Parallelism = p.Workers()
+	return ev
 }
 
 // MinedRule pairs a discovered rule with its measures.

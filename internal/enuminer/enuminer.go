@@ -16,10 +16,20 @@
 //     exactly once (the role the paper's hash table plays);
 //   - cover-index subspace search: children are evaluated only over the
 //     parent's pattern cover (Alg. 4 lines 9–10).
+//
+// The walk runs either serially or as a level-synchronized parallel
+// frontier expansion: each BFS level's (node, dim) refinements fan out
+// across a bounded pool of evaluator shards and are merged back in
+// canonical order, so found rules, Explored counts and every pruning
+// decision are bit-identical to the serial walk (DESIGN.md decision 11).
 package enuminer
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"erminer/internal/core"
+	"erminer/internal/measure"
 	"erminer/internal/rule"
 )
 
@@ -33,6 +43,12 @@ type Config struct {
 	// MaxExplored caps the number of evaluated candidates as a safety
 	// valve; zero means no cap.
 	MaxExplored int
+	// Parallelism overrides the problem's worker budget for the
+	// level-synchronized frontier expansion. Zero defers to
+	// Problem.Workers() (whose own default is runtime.NumCPU()); 1
+	// forces the serial walk. Any setting produces a bit-identical
+	// ResultSet.
+	Parallelism int
 }
 
 // Miner is the enumeration-based discovery algorithm.
@@ -83,6 +99,29 @@ func (m *Miner) Mine(p *core.Problem) (*core.ResultSet, error) {
 	root.cover = rootMeasures.PatternCover
 
 	var (
+		found    []core.MinedRule
+		explored int
+	)
+	workers := m.cfg.Parallelism
+	if workers == 0 {
+		workers = p.Workers()
+	}
+	if workers > 1 {
+		found, explored = m.mineParallel(p, space, ev, root, workers)
+	} else {
+		found, explored = m.mineSerial(p, space, ev, root)
+	}
+
+	return &core.ResultSet{
+		Rules:    core.SelectTopK(found, p.K()),
+		Explored: explored,
+	}, nil
+}
+
+// mineSerial is the original single-threaded levelwise walk; it is the
+// reference the parallel path must match bit for bit.
+func (m *Miner) mineSerial(p *core.Problem, space *core.Space, ev *measure.Evaluator, root *node) ([]core.MinedRule, int) {
+	var (
 		queue    = []*node{root}
 		found    []core.MinedRule
 		explored = 0
@@ -121,11 +160,113 @@ func (m *Miner) Mine(p *core.Problem) (*core.ResultSet, error) {
 			}
 		}
 	}
+	return found, explored
+}
 
-	return &core.ResultSet{
-		Rules:    core.SelectTopK(found, p.K()),
-		Explored: explored,
-	}, nil
+// task is one (parent, child) refinement of a BFS level awaiting
+// evaluation.
+type task struct {
+	parent *node
+	child  *node
+}
+
+// mineParallel is the level-synchronized frontier expansion. The BFS
+// queue of the serial walk is processed level by level (the FIFO order
+// is exactly level order, since every level-k node enters the queue
+// before any level-k+1 node): each level's candidates are generated
+// serially in canonical (node, dim) order — which also places the
+// MaxExplored cap at precisely the candidate the serial walk would stop
+// at — then evaluated concurrently by a pool of evaluator shards
+// borrowing one shared index cache, and finally merged back in
+// canonical order so found, Explored and every pruning decision match
+// the serial walk bit for bit.
+func (m *Miner) mineParallel(p *core.Problem, space *core.Space, ev *measure.Evaluator, root *node, workers int) ([]core.MinedRule, int) {
+	shards := make([]*measure.Evaluator, workers)
+	for i := range shards {
+		shards[i] = ev.Shard()
+	}
+
+	var (
+		found    []core.MinedRule
+		explored int
+		level    = []*node{root}
+		tasks    []task
+	)
+	for len(level) > 0 {
+		// Phase 1: generate this level's candidates canonically.
+		// Refinement is a cheap structural check; the expensive part is
+		// evaluation, which is what fans out.
+		tasks = tasks[:0]
+		capped := false
+		for _, n := range level {
+			for d := n.maxDim + 1; d < space.Dim(); d++ {
+				child, ok := m.refine(space, n, d)
+				if !ok {
+					continue
+				}
+				if m.cfg.MaxExplored > 0 && explored >= m.cfg.MaxExplored {
+					capped = true
+					break
+				}
+				explored++
+				tasks = append(tasks, task{parent: n, child: child})
+			}
+			if capped {
+				break
+			}
+		}
+
+		// Phase 2: fan the evaluations out across the shard pool. Each
+		// result lands in its own slot, so merging needs no locks.
+		results := make([]measure.Measures, len(tasks))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for _, shard := range shards {
+			wg.Add(1)
+			go func(shard *measure.Evaluator) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					results[i] = shard.Evaluate(tasks[i].child.r, tasks[i].parent.cover)
+				}
+			}(shard)
+		}
+		wg.Wait()
+
+		// Phase 3: merge in canonical order, applying exactly the
+		// serial walk's pruning decisions.
+		var nextLevel []*node
+		for i, t := range tasks {
+			ms := results[i]
+			child := t.child
+			child.cover = ms.PatternCover
+			if len(child.r.LHS) == 0 {
+				if len(child.cover) >= p.SupportThreshold {
+					nextLevel = append(nextLevel, child)
+				}
+				continue
+			}
+			if ms.Support < p.SupportThreshold {
+				continue // Lemma 1: the whole subtree is below η_s
+			}
+			found = append(found, core.MinedRule{Rule: child.r, Measures: ms})
+			if ms.Certainty < 1 {
+				nextLevel = append(nextLevel, child)
+			}
+		}
+		if capped {
+			break
+		}
+		level = nextLevel
+	}
+
+	for _, shard := range shards {
+		ev.Stats.Add(shard.Stats)
+	}
+	return found, explored
 }
 
 // refine builds the child of n on dimension d, or reports that the

@@ -1,0 +1,160 @@
+package enuminer
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"erminer/internal/core"
+	"erminer/internal/datagen"
+	"erminer/internal/errgen"
+	"erminer/internal/measure"
+	"erminer/internal/rule"
+)
+
+// assertIdenticalResults requires got to be bit-identical to want:
+// same Explored count, same rules in the same order, same measures
+// (exact float equality, covers included).
+func assertIdenticalResults(t *testing.T, want, got *core.ResultSet, workers int) {
+	t.Helper()
+	if got.Explored != want.Explored {
+		t.Fatalf("workers=%d: Explored=%d, want %d", workers, got.Explored, want.Explored)
+	}
+	if len(got.Rules) != len(want.Rules) {
+		t.Fatalf("workers=%d: %d rules, want %d", workers, len(got.Rules), len(want.Rules))
+	}
+	for i := range want.Rules {
+		if got.Rules[i].Rule.Key() != want.Rules[i].Rule.Key() {
+			t.Fatalf("workers=%d: rule %d key mismatch:\n got %q\nwant %q",
+				workers, i, got.Rules[i].Rule.Key(), want.Rules[i].Rule.Key())
+		}
+		if !reflect.DeepEqual(got.Rules[i].Measures, want.Rules[i].Measures) {
+			t.Fatalf("workers=%d: rule %d measures mismatch:\n got %+v\nwant %+v",
+				workers, i, got.Rules[i].Measures, want.Rules[i].Measures)
+		}
+	}
+}
+
+// TestParallelMineDeterminism runs EnuMiner and EnuMinerH3 on the covid
+// and location benchmark generators at Parallelism 1, 2 and 8 and
+// requires identical ResultSets (rules, order, measures) and identical
+// Explored counts — the level-synchronized merge must reproduce the
+// serial walk exactly.
+func TestParallelMineDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		dataset       string
+		input, master int
+	}{
+		{"covid", 500, 600},
+		{"location", 400, 600},
+	} {
+		t.Run(tc.dataset, func(t *testing.T) {
+			w, err := datagen.ByName(tc.dataset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := w.Build(datagen.DefaultSpec(tc.input, tc.master, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			errgen.Inject(ds.Input, errgen.Config{Rate: 0.08, Rng: rand.New(rand.NewSource(2))})
+			mkProblem := func(workers int) *core.Problem {
+				return &core.Problem{
+					Input: ds.Input, Master: ds.Master, Match: ds.Match,
+					Y: ds.Y, Ym: ds.Ym,
+					SupportThreshold: ds.SupportThreshold,
+					TopK:             20,
+					Parallelism:      workers,
+				}
+			}
+			for _, miner := range []struct {
+				name string
+				mk   func(Config) *Miner
+			}{{"EnuMiner", New}, {"EnuMinerH3", NewH3}} {
+				t.Run(miner.name, func(t *testing.T) {
+					cfg := Config{MaxExplored: 4000}
+					base, err := miner.mk(cfg).Mine(mkProblem(1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if base.Explored == 0 || len(base.Rules) == 0 {
+						t.Fatalf("degenerate baseline: explored=%d rules=%d",
+							base.Explored, len(base.Rules))
+					}
+					for _, workers := range []int{2, 8} {
+						got, err := miner.mk(cfg).Mine(mkProblem(workers))
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertIdenticalResults(t, base, got, workers)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestParallelCapDeterminism places the MaxExplored cap at awkward
+// positions (mid-node, mid-level, first candidate) and checks the
+// parallel walk cuts off at exactly the candidate the serial walk
+// would, with an identical result.
+func TestParallelCapDeterminism(t *testing.T) {
+	p := plantedProblem(t, 400, 5)
+	for _, capN := range []int{1, 7, 50, 333} {
+		cfg := Config{MaxExplored: capN}
+		p.Parallelism = 1
+		base, err := New(cfg).Mine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Explored > capN {
+			t.Fatalf("cap=%d: serial explored %d", capN, base.Explored)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			p.Parallelism = workers
+			got, err := New(cfg).Mine(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdenticalResults(t, base, got, workers)
+		}
+	}
+	p.Parallelism = 0
+}
+
+// TestParallelStatsMatchSerial asserts that a parallel walk, with its
+// worker-shard stats merged back through Stats.Add, reports exactly the
+// same Evaluations / IndexBuilds / TuplesScanned totals as the serial
+// walk.
+func TestParallelStatsMatchSerial(t *testing.T) {
+	p := plantedProblem(t, 300, 9)
+	space := core.BuildSpace(p, core.SpaceConfig{MinValueCount: p.SupportThreshold})
+	m := New(Config{})
+
+	run := func(workers int) (explored int, stats measure.Stats) {
+		ev := measure.NewEvaluator(p.Input, p.Master, p.Truth)
+		root := &node{r: rule.New(nil, p.Y, p.Ym, nil), maxDim: -1}
+		ms := ev.Evaluate(root.r, nil)
+		root.cover = ms.PatternCover
+		if workers > 1 {
+			_, explored = m.mineParallel(p, space, ev, root, workers)
+		} else {
+			_, explored = m.mineSerial(p, space, ev, root)
+		}
+		return explored, ev.Stats
+	}
+
+	explored1, stats1 := run(1)
+	if stats1.Evaluations == 0 || stats1.IndexBuilds == 0 {
+		t.Fatalf("degenerate serial stats: %+v", stats1)
+	}
+	for _, workers := range []int{2, 8} {
+		exploredN, statsN := run(workers)
+		if exploredN != explored1 {
+			t.Fatalf("workers=%d: explored %d, want %d", workers, exploredN, explored1)
+		}
+		if statsN != stats1 {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, statsN, stats1)
+		}
+	}
+}

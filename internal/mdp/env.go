@@ -106,8 +106,14 @@ type Env struct {
 	cfg     Config
 	problem *core.Problem
 	space   *core.Space
-	ev      *measure.Evaluator
-	norm    float64 // utility normaliser
+	// ev serves the reward queries. It is built via Problem.NewEvaluator,
+	// so when the problem carries a shared index cache
+	// (Problem.ShareIndexes) the reward path reuses the master indexes
+	// already built by a miner or the repair engine — and its
+	// full-relation cover scans chunk across Problem.Workers()
+	// goroutines.
+	ev   *measure.Evaluator
+	norm float64 // utility normaliser
 
 	// Persistent across episodes (Alg. 2's R_Σ).
 	rewardCache map[string]cachedMeasures

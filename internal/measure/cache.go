@@ -1,0 +1,54 @@
+package measure
+
+import "sync"
+
+// IndexCache is a thread-safe, build-once cache of master-side indexes,
+// keyed by the encoded (LHS master attributes, Y_m) list of a rule. It
+// is the shared read-only layer of the parallel evaluation engine:
+// N evaluator shards borrow one cache, and per-key singleflight
+// semantics guarantee that no two workers ever build the same
+// (X_m, Y_m) index twice — concurrent requests for one key block until
+// the single builder finishes, while requests for distinct keys proceed
+// independently.
+//
+// A built index is immutable; readers need no further synchronisation
+// (sync.Once publication establishes the happens-before edge).
+type IndexCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	idx  masterIndex
+}
+
+// NewIndexCache returns an empty cache.
+func NewIndexCache() *IndexCache {
+	return &IndexCache{entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the index stored under key, invoking build at most once
+// per key across all callers. built reports whether this call performed
+// the build, so the calling shard can account for it in its Stats.
+func (c *IndexCache) get(key string, build func() masterIndex) (idx masterIndex, built bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.idx = build()
+		built = true
+	})
+	return e.idx, built
+}
+
+// Len returns the number of distinct indexes resident in the cache.
+func (c *IndexCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

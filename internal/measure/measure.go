@@ -8,11 +8,16 @@
 //     so Certainty is computed per X-key group rather than per tuple);
 //   - cover-based subspace search (Alg. 4 lines 9–10): a child rule is
 //     evaluated only over the input tuples covered by its parent's
-//     pattern.
+//     pattern;
+//   - a parallel evaluation layer: the index cache is a thread-safe,
+//     build-once structure (IndexCache) that N evaluator shards borrow
+//     (Shard), and full-relation pattern scans chunk across goroutines
+//     (Parallelism), all with bit-identical results to a serial run.
 package measure
 
 import (
 	"math"
+	"sync"
 
 	"erminer/internal/relation"
 	"erminer/internal/rule"
@@ -72,7 +77,9 @@ type masterIndex map[string]*Hist
 // what makes repeated evaluation across thousands of candidate rules
 // tractable (DESIGN.md decision 2).
 //
-// An Evaluator is not safe for concurrent use.
+// An Evaluator is not safe for concurrent use, but evaluators sharing
+// one IndexCache may run concurrently with each other: use Shard to
+// derive one per worker goroutine (DESIGN.md decision 11).
 type Evaluator struct {
 	input  *relation.Relation
 	master *relation.Relation
@@ -82,9 +89,23 @@ type Evaluator struct {
 	// paper's approximate Quality measure (§II-B3).
 	truth []int32
 
-	indexes map[string]masterIndex
-	// keyBuf is reused across key constructions to avoid allocation.
+	// cache holds the built master indexes; it may be shared across
+	// evaluator shards and is safe for concurrent use.
+	cache *IndexCache
+	// keyBuf is reused across input-key constructions to avoid
+	// allocation. It must never be shared with idxKeyBuf: index() can
+	// run between an inputKey() call and the use of its result, so a
+	// common buffer would corrupt cache keys (see TestKeyBufNoAliasing).
 	keyBuf []byte
+	// idxKeyBuf is the separate reusable buffer for index cache keys.
+	idxKeyBuf []byte
+
+	// Parallelism chunks full-relation pattern scans — Evaluate and
+	// PatternCover with a nil parent cover — across this many
+	// goroutines. Zero or one scans serially; chunk results are merged
+	// in row order, so every setting yields bit-identical output. Set
+	// it only from the goroutine that owns the evaluator.
+	Parallelism int
 
 	// Stats counts evaluator work for the ablation benchmarks.
 	Stats Stats
@@ -100,17 +121,51 @@ type Stats struct {
 	TuplesScanned int
 }
 
-// NewEvaluator builds an evaluator. truth may be nil, in which case the
-// observed Y column of the input is used per dependent attribute at
-// evaluation time (approximate Quality).
+// Add accumulates other into s. Worker shards each collect their own
+// Stats; merging them through Add at join time reproduces exactly the
+// totals a serial run would report.
+func (s *Stats) Add(other Stats) {
+	s.Evaluations += other.Evaluations
+	s.IndexBuilds += other.IndexBuilds
+	s.TuplesScanned += other.TuplesScanned
+}
+
+// NewEvaluator builds an evaluator with a private index cache. truth may
+// be nil, in which case the observed Y column of the input is used per
+// dependent attribute at evaluation time (approximate Quality).
 func NewEvaluator(input, master *relation.Relation, truth []int32) *Evaluator {
+	return NewSharedEvaluator(input, master, truth, NewIndexCache())
+}
+
+// NewSharedEvaluator builds an evaluator borrowing an existing index
+// cache, so separately-constructed evaluators (mining, reward queries,
+// repair) reuse each other's built indexes.
+func NewSharedEvaluator(input, master *relation.Relation, truth []int32, cache *IndexCache) *Evaluator {
 	return &Evaluator{
-		input:   input,
-		master:  master,
-		truth:   truth,
-		indexes: make(map[string]masterIndex),
+		input:  input,
+		master: master,
+		truth:  truth,
+		cache:  cache,
 	}
 }
+
+// Shard returns a lightweight evaluator that borrows e's relations,
+// truth column and index cache but owns its key buffers and Stats, so
+// it can run on a different goroutine than e and than any other shard.
+// Shards scan serially (Parallelism 1): the caller owns the cross-shard
+// fan-out. Merge shard Stats back with Stats.Add.
+func (e *Evaluator) Shard() *Evaluator {
+	return &Evaluator{
+		input:  e.input,
+		master: e.master,
+		truth:  e.truth,
+		cache:  e.cache,
+	}
+}
+
+// Cache exposes the evaluator's index cache for sharing with other
+// evaluators (see NewSharedEvaluator).
+func (e *Evaluator) Cache() *IndexCache { return e.cache }
 
 // Input returns the input relation the evaluator reads.
 func (e *Evaluator) Input() *relation.Relation { return e.input }
@@ -119,21 +174,29 @@ func (e *Evaluator) Input() *relation.Relation { return e.input }
 func (e *Evaluator) Master() *relation.Relation { return e.master }
 
 // index returns the master index for the rule's LHS master attributes and
-// dependent master attribute, building and caching it on first use.
+// dependent master attribute, building and caching it on first use. The
+// cache key lives in idxKeyBuf, never keyBuf, so an interleaved
+// inputKey() cannot corrupt it (and vice versa).
 func (e *Evaluator) index(r *rule.Rule) masterIndex {
-	e.keyBuf = e.keyBuf[:0]
+	e.idxKeyBuf = e.idxKeyBuf[:0]
 	for _, p := range r.LHS {
-		e.keyBuf = appendCode(e.keyBuf, int32(p.Master))
+		e.idxKeyBuf = appendCode(e.idxKeyBuf, int32(p.Master))
 	}
-	e.keyBuf = appendCode(e.keyBuf, int32(r.Ym))
-	cacheKey := string(e.keyBuf)
-	if idx, ok := e.indexes[cacheKey]; ok {
-		return idx
+	e.idxKeyBuf = appendCode(e.idxKeyBuf, int32(r.Ym))
+	idx, built := e.cache.get(string(e.idxKeyBuf), func() masterIndex {
+		return buildIndex(e.master, r)
+	})
+	if built {
+		e.Stats.IndexBuilds++
 	}
+	return idx
+}
 
-	e.Stats.IndexBuilds++
+// buildIndex scans the master relation once, grouping Y_m values by the
+// encoded X_m key. The result is deterministic in the master row order
+// and immutable once returned.
+func buildIndex(m *relation.Relation, r *rule.Rule) masterIndex {
 	idx := make(masterIndex)
-	m := e.master
 	var buf []byte
 	for row := 0; row < m.NumRows(); row++ {
 		y := m.Code(row, r.Ym)
@@ -160,7 +223,6 @@ func (e *Evaluator) index(r *rule.Rule) masterIndex {
 		}
 		h.add(y)
 	}
-	e.indexes[cacheKey] = idx
 	return idx
 }
 
@@ -217,12 +279,7 @@ func (e *Evaluator) Evaluate(r *rule.Rule, parentCover []int32) Measures {
 
 	var cover []int32
 	if parentCover == nil {
-		cover = make([]int32, 0, in.NumRows())
-		for row := 0; row < in.NumRows(); row++ {
-			if r.MatchesPattern(in, row) {
-				cover = append(cover, int32(row))
-			}
-		}
+		cover = e.fullScanCover(r)
 		e.Stats.TuplesScanned += in.NumRows()
 	} else {
 		cover = make([]int32, 0, len(parentCover))
@@ -273,19 +330,66 @@ func (e *Evaluator) Evaluate(r *rule.Rule, parentCover []int32) Measures {
 func (e *Evaluator) PatternCover(r *rule.Rule, parentCover []int32) []int32 {
 	in := e.input
 	if parentCover == nil {
-		out := make([]int32, 0, in.NumRows())
-		for row := 0; row < in.NumRows(); row++ {
-			if r.MatchesPattern(in, row) {
-				out = append(out, int32(row))
-			}
-		}
-		return out
+		return e.fullScanCover(r)
 	}
 	out := make([]int32, 0, len(parentCover))
 	for _, row := range parentCover {
 		if r.MatchesPattern(in, int(row)) {
 			out = append(out, row)
 		}
+	}
+	return out
+}
+
+// minScanChunk bounds the per-goroutine work of a chunked full-relation
+// scan: below this many rows per worker the goroutine overhead exceeds
+// the scan itself, so the effective worker count is capped.
+const minScanChunk = 512
+
+// fullScanCover returns the rows of the whole input matching the rule's
+// pattern. With Parallelism > 1 the row range is chunked across
+// goroutines and the per-chunk results are concatenated in row order,
+// so the output is identical to the serial scan bit for bit.
+func (e *Evaluator) fullScanCover(r *rule.Rule) []int32 {
+	in := e.input
+	n := in.NumRows()
+	workers := e.Parallelism
+	if max := n / minScanChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		out := make([]int32, 0, n)
+		for row := 0; row < n; row++ {
+			if r.MatchesPattern(in, row) {
+				out = append(out, int32(row))
+			}
+		}
+		return out
+	}
+	chunks := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			part := make([]int32, 0, hi-lo)
+			for row := lo; row < hi; row++ {
+				if r.MatchesPattern(in, row) {
+					part = append(part, int32(row))
+				}
+			}
+			chunks[w] = part
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]int32, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
 	}
 	return out
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the repository's correctness gate.
+#
+# The race detector run is the gate for the parallel evaluation engine
+# (shared index cache, evaluator shards, level-synchronized frontier):
+# the parallel-path tests force worker counts > 1 even on small
+# machines, so data races surface regardless of the host's CPU count.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
