@@ -1,13 +1,21 @@
 # Developer entry points. `make check` is the gate every change must
-# pass: vet + build + race-enabled tests (see scripts/check.sh).
+# pass: gofmt + vet + build (all packages, including cmd/erminer and
+# cmd/erminerd) + race-enabled tests (see scripts/check.sh).
 
-.PHONY: check test bench build
+.PHONY: check test bench build serve
 
 check:
 	./scripts/check.sh
 
 build:
 	go build ./...
+
+# Build and run the rule-serving daemon on the covid benchmark, mining
+# an initial rule set at startup. See README "Serving" for the curl
+# walkthrough against it.
+serve:
+	go build -o bin/erminerd ./cmd/erminerd
+	./bin/erminerd -dataset covid -noise 0.1 -mine enuminerh3
 
 test:
 	go test ./...

@@ -15,6 +15,7 @@ import (
 	"erminer/internal/rlminer"
 	"erminer/internal/rule"
 	"erminer/internal/schema"
+	"erminer/internal/serve"
 )
 
 // Re-exported core types. The implementation lives in internal packages;
@@ -225,6 +226,33 @@ func Evaluate(pred, truth []int32) PRF {
 // FormatRule renders a rule with attribute names and values.
 func FormatRule(p *Problem, r *Rule) string {
 	return r.String(p.Input, p.Master.Schema())
+}
+
+// Serving handles. The online rule-serving and repair daemon
+// (cmd/erminerd) is built from these: a Server holds one problem's
+// master data, answers POST /v1/repair and /v1/validate over arriving
+// dirty tuples, mines new rule sets on an asynchronous worker pool
+// (POST /v1/jobs) and hot-swaps the active set with zero downtime
+// (PUT /v1/rules). See internal/serve for the endpoint contract.
+type (
+	// ServeConfig tunes the daemon (worker pool, bounded queue,
+	// per-request timeout, job pool, batch and body limits). The zero
+	// value is fully usable.
+	ServeConfig = serve.Config
+	// Server is the rule-serving daemon, an http.Handler.
+	Server = serve.Server
+	// JobSpec describes one asynchronous mining job.
+	JobSpec = serve.JobSpec
+	// JobStatus is the externally visible snapshot of one mining job.
+	JobStatus = serve.JobStatus
+)
+
+// NewServer builds the rule-serving daemon over a problem. rules may be
+// nil to start without an active rule set; activate one later through a
+// mining job or PUT /v1/rules. Mount the server on any net/http mux and
+// stop it with Server.Shutdown.
+func NewServer(p *Problem, rules []MinedRule, cfg ServeConfig) (*Server, error) {
+	return serve.New(p, rules, cfg)
 }
 
 // Validate sanity-checks a problem, returning a descriptive error for

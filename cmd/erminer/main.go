@@ -15,6 +15,7 @@
 // Artifacts:
 //
 //	-export-rules rules.json    write discovered rules as portable JSON
+//	-import-rules rules.json    load rules instead of mining (mine-free repair)
 //	-save-model model.bin       persist the RLMiner value network
 //	-load-model model.bin       fine-tune a persisted model (RLMiner-ft)
 //
@@ -36,26 +37,27 @@ import (
 )
 
 type options struct {
-	dataset   string
-	method    string
-	k         int
-	noise     float64
-	seed      int64
-	input     int
-	master    int
-	eta       int
-	steps     int
-	parallel  int
-	doRepair  bool
-	verbose   bool
-	inputCSV  string
-	masterCSV string
-	y, ym     string
-	match     string
-	exportTo  string
-	saveModel string
-	loadModel string
-	explain   int
+	dataset    string
+	method     string
+	k          int
+	noise      float64
+	seed       int64
+	input      int
+	master     int
+	eta        int
+	steps      int
+	parallel   int
+	doRepair   bool
+	verbose    bool
+	inputCSV   string
+	masterCSV  string
+	y, ym      string
+	match      string
+	exportTo   string
+	importFrom string
+	saveModel  string
+	loadModel  string
+	explain    int
 }
 
 func main() {
@@ -78,6 +80,7 @@ func main() {
 	flag.StringVar(&o.ym, "ym", "", "dependent master column (CSV mode)")
 	flag.StringVar(&o.match, "match", "", "schema match as in1=ms1,in2=ms2 (CSV mode; empty = infer)")
 	flag.StringVar(&o.exportTo, "export-rules", "", "write discovered rules to this JSON file")
+	flag.StringVar(&o.importFrom, "import-rules", "", "load rules from this JSON file instead of mining (mine-free repair)")
 	flag.StringVar(&o.saveModel, "save-model", "", "persist the RLMiner value network to this file")
 	flag.StringVar(&o.loadModel, "load-model", "", "fine-tune a persisted RLMiner model from this file")
 	flag.IntVar(&o.explain, "explain", -1, "print the repair explanation for this tuple index")
@@ -147,6 +150,22 @@ func run(o options) (err error) {
 
 	var res *erminer.ResultSet
 	var rlm *erminer.RLMiner
+	if o.importFrom != "" {
+		if o.saveModel != "" || o.loadModel != "" {
+			return fmt.Errorf("-import-rules cannot be combined with -save-model/-load-model")
+		}
+		data, err := os.ReadFile(o.importFrom)
+		if err != nil {
+			return err
+		}
+		rules, err := erminer.ImportRules(p, data)
+		if err != nil {
+			return err
+		}
+		res = &erminer.ResultSet{Rules: rules}
+		fmt.Printf("imported %d rules from %s (mine-free run)\n", len(rules), o.importFrom)
+		return finish(o, p, res, truth)
+	}
 	name := strings.ToLower(o.method)
 	start := time.Now()
 	switch name {
@@ -182,6 +201,29 @@ func run(o options) (err error) {
 	fmt.Printf("%s discovered %d rules in %v (explored %d candidates)\n",
 		o.method, len(res.Rules), time.Since(start).Round(time.Millisecond), res.Explored)
 
+	if o.saveModel != "" {
+		if rlm == nil {
+			return fmt.Errorf("-save-model requires -method rlminer")
+		}
+		f, err := os.Create(o.saveModel)
+		if err != nil {
+			return err
+		}
+		if err := erminer.SaveModel(rlm, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved model to %s\n", o.saveModel)
+	}
+	return finish(o, p, res, truth)
+}
+
+// finish runs the shared post-mining pipeline — rule listing, export,
+// explanation and repair — for both mined and imported rule sets.
+func finish(o options, p *erminer.Problem, res *erminer.ResultSet, truth []int32) error {
 	show := len(res.Rules)
 	if !o.verbose && show > 10 {
 		show = 10
@@ -206,23 +248,6 @@ func run(o options) (err error) {
 			return err
 		}
 		fmt.Printf("exported rules to %s\n", o.exportTo)
-	}
-	if o.saveModel != "" {
-		if rlm == nil {
-			return fmt.Errorf("-save-model requires -method rlminer")
-		}
-		f, err := os.Create(o.saveModel)
-		if err != nil {
-			return err
-		}
-		if err := erminer.SaveModel(rlm, f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("saved model to %s\n", o.saveModel)
 	}
 
 	if o.explain >= 0 {

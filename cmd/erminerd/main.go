@@ -1,0 +1,245 @@
+// Command erminerd is the online rule-serving and repair daemon: it
+// loads (or mines) an editing-rule set for a dataset or CSV problem and
+// serves it over HTTP.
+//
+// Endpoints:
+//
+//	POST /v1/repair        batch of tuples in → fixed cells + per-fix rule explanations out
+//	POST /v1/validate      batch of tuples in → per-tuple consistent/violation/missing/uncovered
+//	GET  /v1/rules         active rule set in the portable JSON wire format
+//	PUT  /v1/rules         zero-downtime hot swap of the active rule set
+//	POST /v1/jobs          submit an asynchronous mining job (enuminer, enuminerh3, rlminer, ctane)
+//	GET  /v1/jobs[/{id}]   job states: queued → running → done | failed
+//	GET  /healthz          liveness + active rule-set generation
+//	GET  /metrics          plain-text counters incl. p50/p99 repair latency
+//
+// Start it on a benchmark dataset and mine an initial rule set:
+//
+//	erminerd -dataset covid -noise 0.1 -mine enuminerh3
+//
+// Or serve your own CSV problem with a previously exported rule file:
+//
+//	erminerd -input-csv shops.csv -master-csv directory.csv \
+//	         -y postcode -ym postcode -rules rules.json
+//
+// Concurrent repair requests share one master-index cache, the request
+// queue is bounded (429 under overload), every request carries a
+// deadline, and SIGINT/SIGTERM drain in-flight work before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"erminer"
+)
+
+type options struct {
+	addr      string
+	dataset   string
+	noise     float64
+	seed      int64
+	input     int
+	master    int
+	eta       int
+	k         int
+	parallel  int
+	inputCSV  string
+	masterCSV string
+	y, ym     string
+	match     string
+	rulesFile string
+	mine      string
+	steps     int
+
+	repairWorkers int
+	queueDepth    int
+	timeout       time.Duration
+	jobWorkers    int
+	jobQueue      int
+	maxBatch      int
+	drainTimeout  time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.dataset, "dataset", "covid", "benchmark dataset: adult, covid, nursery or location")
+	flag.Float64Var(&o.noise, "noise", 0.10, "cell error-injection rate for the benchmark training corpus")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.input, "input", 0, "input size (0 = paper default; benchmark mode)")
+	flag.IntVar(&o.master, "master", 0, "master size (0 = paper default; benchmark mode)")
+	flag.IntVar(&o.eta, "eta", 0, "support threshold (0 = dataset default)")
+	flag.IntVar(&o.k, "k", 50, "rule budget for mining jobs (top-K)")
+	flag.IntVar(&o.parallel, "parallel", 0, "evaluation workers (0 = all CPUs)")
+	flag.StringVar(&o.inputCSV, "input-csv", "", "input CSV path (enables CSV mode)")
+	flag.StringVar(&o.masterCSV, "master-csv", "", "master CSV path (CSV mode)")
+	flag.StringVar(&o.y, "y", "", "dependent input column (CSV mode)")
+	flag.StringVar(&o.ym, "ym", "", "dependent master column (CSV mode)")
+	flag.StringVar(&o.match, "match", "", "schema match as in1=ms1,in2=ms2 (CSV mode; empty = infer)")
+	flag.StringVar(&o.rulesFile, "rules", "", "activate this exported rule file at startup")
+	flag.StringVar(&o.mine, "mine", "", "mine an initial rule set at startup with this method (enuminer, enuminerh3, rlminer, ctane)")
+	flag.IntVar(&o.steps, "steps", 5000, "RLMiner training steps for -mine and mining jobs")
+	flag.IntVar(&o.repairWorkers, "repair-workers", 0, "concurrent repair/validate requests (0 = all CPUs)")
+	flag.IntVar(&o.queueDepth, "queue-depth", 0, "bounded request queue; beyond it requests get 429 (0 = 64)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline")
+	flag.IntVar(&o.jobWorkers, "job-workers", 1, "mining job workers")
+	flag.IntVar(&o.jobQueue, "job-queue", 16, "bounded mining-job queue; beyond it jobs get 429")
+	flag.IntVar(&o.maxBatch, "max-batch", 0, "max tuples per repair/validate call (0 = 10000)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "erminerd:", err)
+		os.Exit(1)
+	}
+}
+
+func buildProblem(o options) (*erminer.Problem, error) {
+	if o.inputCSV != "" {
+		if o.masterCSV == "" || o.y == "" || o.ym == "" {
+			return nil, fmt.Errorf("CSV mode needs -master-csv, -y and -ym")
+		}
+		var pairs map[string]string
+		if o.match != "" {
+			pairs = make(map[string]string)
+			for _, kv := range strings.Split(o.match, ",") {
+				in, ms, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("bad -match entry %q (want in=ms)", kv)
+				}
+				pairs[in] = ms
+			}
+		}
+		return erminer.LoadCSVProblem(erminer.CSVSpec{
+			InputPath:        o.inputCSV,
+			MasterPath:       o.masterCSV,
+			Y:                o.y,
+			Ym:               o.ym,
+			MatchPairs:       pairs,
+			SupportThreshold: o.eta,
+		})
+	}
+	ds, err := erminer.BuildDataset(o.dataset, erminer.DatasetSpec{
+		InputSize:  o.input,
+		MasterSize: o.master,
+		Seed:       o.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if o.noise > 0 {
+		n := ds.InjectErrors(erminer.NoiseConfig{Rate: o.noise, Seed: o.seed + 1})
+		log.Printf("injected %d cell errors at rate %.2f into the training corpus", n, o.noise)
+	}
+	return ds.Problem(o.eta), nil
+}
+
+func mineInitial(p *erminer.Problem, method string, steps int, seed int64) ([]erminer.MinedRule, error) {
+	var m erminer.Miner
+	switch strings.ToLower(method) {
+	case "enuminer":
+		m = erminer.NewEnuMiner(erminer.EnuMinerConfig{})
+	case "enuminerh3":
+		m = erminer.NewEnuMinerH3(erminer.EnuMinerConfig{})
+	case "rlminer":
+		m = erminer.NewRLMiner(erminer.RLMinerConfig{TrainSteps: steps, Seed: seed})
+	case "ctane":
+		m = erminer.NewCTANE(erminer.CTANEConfig{})
+	default:
+		return nil, fmt.Errorf("unknown -mine method %q", method)
+	}
+	start := time.Now()
+	res, err := m.Mine(p)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("%s mined %d rules in %v (explored %d candidates)",
+		m.Name(), len(res.Rules), time.Since(start).Round(time.Millisecond), res.Explored)
+	return res.Rules, nil
+}
+
+func run(o options) error {
+	p, err := buildProblem(o)
+	if err != nil {
+		return err
+	}
+	p.TopK = o.k
+	p.Parallelism = o.parallel
+	p.ShareIndexes()
+	log.Printf("problem: input %d×%d, master %d×%d, |M|=%d, η_s=%d, workers=%d",
+		p.Input.NumRows(), p.Input.Schema().Len(),
+		p.Master.NumRows(), p.Master.Schema().Len(),
+		p.Match.Size(), p.SupportThreshold, p.Workers())
+
+	var rules []erminer.MinedRule
+	switch {
+	case o.rulesFile != "" && o.mine != "":
+		return fmt.Errorf("-rules and -mine are mutually exclusive")
+	case o.rulesFile != "":
+		data, err := os.ReadFile(o.rulesFile)
+		if err != nil {
+			return err
+		}
+		rules, err = erminer.ImportRules(p, data)
+		if err != nil {
+			return err
+		}
+		log.Printf("activated %d rules from %s", len(rules), o.rulesFile)
+	case o.mine != "":
+		rules, err = mineInitial(p, o.mine, o.steps, o.seed)
+		if err != nil {
+			return err
+		}
+	default:
+		log.Printf("starting with an empty rule set; POST /v1/jobs or PUT /v1/rules to activate one")
+	}
+
+	srv, err := erminer.NewServer(p, rules, erminer.ServeConfig{
+		RepairWorkers:  o.repairWorkers,
+		QueueDepth:     o.queueDepth,
+		RequestTimeout: o.timeout,
+		JobWorkers:     o.jobWorkers,
+		JobQueue:       o.jobQueue,
+		MaxBatch:       o.maxBatch,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("erminerd listening on %s", o.addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v; draining (budget %v)", sig, o.drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx.Done()); err != nil {
+		log.Printf("job drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("erminerd stopped")
+	return nil
+}

@@ -15,11 +15,11 @@ import (
 //   - Income is determined by (Occupation, EducationNum) for the
 //     mainstream population, with two divergent sub-populations that make
 //     input-side conditions worthwhile:
-//       * Relationship = "Other-relative" entities (input-only attribute,
-//         excluded from master data) have half their incomes flipped;
-//       * Age < 25 entities always earn "<=50K" regardless of occupation
-//         (they are in the master data, so rules restricted to adult age
-//         ranges via continuous-range pattern conditions gain Quality).
+//   - Relationship = "Other-relative" entities (input-only attribute,
+//     excluded from master data) have half their incomes flipped;
+//   - Age < 25 entities always earn "<=50K" regardless of occupation
+//     (they are in the master data, so rules restricted to adult age
+//     ranges via continuous-range pattern conditions gain Quality).
 var (
 	adultWorkclass = []string{
 		"Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov",

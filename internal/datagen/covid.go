@@ -24,7 +24,7 @@ var (
 		"2021-05", "2021-06", "2021-07", "2021-08", "2021-09",
 		"2021-10", "2021-11", "2021-12",
 	}
-	covidAges = []string{"0s", "10s", "20s", "30s", "40s", "50s", "60s", "70s", "80s"}
+	covidAges  = []string{"0s", "10s", "20s", "30s", "40s", "50s", "60s", "70s", "80s"}
 	covidCases = []string{
 		"contact with patient", "contact with imports", "gym facility",
 		"church gathering", "hospital outbreak", "nursing home",
@@ -32,7 +32,7 @@ var (
 	}
 	covidOverseasCases = []string{"overseas inflow", "airport screening"}
 	covidStates        = []string{"released", "isolated", "deceased"}
-	covidProvinces = []string{
+	covidProvinces     = []string{
 		"Gyeonggi-do", "Gangwon-do", "Chungcheongbuk-do",
 		"Chungcheongnam-do", "Jeollabuk-do", "Jeollanam-do",
 		"Gyeongsangbuk-do", "Gyeongsangnam-do", "Jeju-do", "Capital-area",

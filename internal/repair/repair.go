@@ -8,6 +8,8 @@
 package repair
 
 import (
+	"context"
+
 	"erminer/internal/measure"
 	"erminer/internal/relation"
 	"erminer/internal/rule"
@@ -28,10 +30,25 @@ type Result struct {
 // aggregates candidate fixes. Rules must share the evaluator's dependent
 // attribute pair (they do, by construction of the miners).
 func Apply(ev *measure.Evaluator, rules []*rule.Rule) Result {
+	res, _ := ApplyContext(context.Background(), ev, rules)
+	return res
+}
+
+// ApplyContext is Apply with cooperative cancellation: the context is
+// checked between rules, so a serving layer can bound per-request repair
+// latency. On cancellation it returns the context's error together with
+// the aggregation over the rules fully applied so far (callers that want
+// all-or-nothing should discard the partial result).
+func ApplyContext(ctx context.Context, ev *measure.Evaluator, rules []*rule.Rule) (Result, error) {
 	n := ev.Input().NumRows()
 	scores := make([]map[int32]float64, n)
 
+	var ctxErr error
 	for _, r := range rules {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
 		for row := 0; row < n; row++ {
 			h, ok := ev.Candidates(r, row)
 			if !ok || h.Total == 0 {
@@ -69,7 +86,7 @@ func Apply(ev *measure.Evaluator, rules []*rule.Rule) Result {
 		res.Score[row] = bestScore
 		res.Covered++
 	}
-	return res
+	return res, ctxErr
 }
 
 // WriteFixes writes the predicted values into the relation's dependent

@@ -1,6 +1,8 @@
 package repair
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -216,5 +218,37 @@ func TestExplainUncovered(t *testing.T) {
 	s := exp.Format(input, master.Schema(), 2)
 	if !strings.Contains(s, "no rule") {
 		t.Errorf("Format output:\n%s", s)
+	}
+}
+
+func TestApplyContextCancellation(t *testing.T) {
+	input, master := fixture()
+	ev := measure.NewEvaluator(input, master, nil)
+	r := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 1, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ApplyContext(ctx, ev, []*rule.Rule{r})
+	if err == nil {
+		t.Fatal("ApplyContext with a cancelled context returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The partial result is still well-formed (no rule ran).
+	if res.Covered != 0 {
+		t.Errorf("cancelled run covered %d tuples, want 0", res.Covered)
+	}
+
+	// An unexpired context behaves exactly like Apply.
+	got, err := ApplyContext(context.Background(), ev, []*rule.Rule{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Apply(ev, []*rule.Rule{r})
+	for row := range want.Pred {
+		if got.Pred[row] != want.Pred[row] {
+			t.Errorf("row %d: ApplyContext diverged from Apply", row)
+		}
 	}
 }

@@ -1,0 +1,134 @@
+// Package rulesio defines the portable JSON wire format of editing
+// rules: attribute names and string values rather than schema indices
+// and dictionary codes, so a rule file survives re-encoding of the data
+// and can travel between processes — the CLI's -export-rules /
+// -import-rules artifacts and erminerd's GET/PUT /v1/rules endpoints
+// all speak this format.
+package rulesio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"erminer/internal/core"
+	"erminer/internal/measure"
+	"erminer/internal/rule"
+)
+
+// RuleJSON is the wire format of one editing rule.
+type RuleJSON struct {
+	LHS     [][2]string `json:"lhs"` // [input attr, master attr] pairs
+	Y       string      `json:"y"`
+	Ym      string      `json:"ym"`
+	Pattern []CondJSON  `json:"pattern,omitempty"`
+	// Measures travel along for documentation and monitoring; Import
+	// carries them through verbatim, and they can be recomputed against
+	// the importing problem's data if needed.
+	Support   int     `json:"support,omitempty"`
+	Certainty float64 `json:"certainty,omitempty"`
+	Quality   float64 `json:"quality,omitempty"`
+	Utility   float64 `json:"utility,omitempty"`
+}
+
+// CondJSON is the wire format of one pattern condition.
+type CondJSON struct {
+	Attr   string   `json:"attr"`
+	Values []string `json:"values"`
+	Negate bool     `json:"negate,omitempty"`
+	Label  string   `json:"label,omitempty"`
+}
+
+// Export serialises mined rules to JSON, resolving indices and codes
+// through the problem's schemas and dictionaries.
+func Export(p *core.Problem, rules []core.MinedRule) ([]byte, error) {
+	rs := p.Input.Schema()
+	ms := p.Master.Schema()
+	out := make([]RuleJSON, 0, len(rules))
+	for _, mr := range rules {
+		r := mr.Rule
+		rj := RuleJSON{
+			Y:         rs.Attr(r.Y).Name,
+			Ym:        ms.Attr(r.Ym).Name,
+			Support:   mr.Measures.Support,
+			Certainty: mr.Measures.Certainty,
+			Quality:   mr.Measures.Quality,
+			Utility:   mr.Measures.Utility,
+		}
+		for _, pr := range r.LHS {
+			rj.LHS = append(rj.LHS, [2]string{
+				rs.Attr(pr.Input).Name, ms.Attr(pr.Master).Name,
+			})
+		}
+		for _, c := range r.Pattern {
+			cj := CondJSON{
+				Attr:   rs.Attr(c.Attr).Name,
+				Negate: c.Negate,
+				Label:  c.Label,
+			}
+			for _, code := range c.Codes {
+				cj.Values = append(cj.Values, p.Input.Dict(c.Attr).Value(code))
+			}
+			rj.Pattern = append(rj.Pattern, cj)
+		}
+		out = append(out, rj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Import parses rules exported by Export against a problem's schemas,
+// interning pattern values into the input dictionaries. The measures
+// recorded in the file are carried through verbatim (they describe the
+// exporting problem's data; re-evaluate to score against the importing
+// problem's data).
+func Import(p *core.Problem, data []byte) ([]core.MinedRule, error) {
+	var raw []RuleJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("erminer: parsing rules JSON: %w", err)
+	}
+	rs := p.Input.Schema()
+	ms := p.Master.Schema()
+	out := make([]core.MinedRule, 0, len(raw))
+	for i, rj := range raw {
+		y := rs.Index(rj.Y)
+		ym := ms.Index(rj.Ym)
+		if y < 0 || ym < 0 {
+			return nil, fmt.Errorf("erminer: rule %d: unknown dependent attributes %q/%q", i, rj.Y, rj.Ym)
+		}
+		var lhs []rule.AttrPair
+		for _, pr := range rj.LHS {
+			a := rs.Index(pr[0])
+			am := ms.Index(pr[1])
+			if a < 0 || am < 0 {
+				return nil, fmt.Errorf("erminer: rule %d: unknown LHS pair %v", i, pr)
+			}
+			lhs = append(lhs, rule.AttrPair{Input: a, Master: am})
+		}
+		var pattern []rule.Condition
+		for _, cj := range rj.Pattern {
+			attr := rs.Index(cj.Attr)
+			if attr < 0 {
+				return nil, fmt.Errorf("erminer: rule %d: unknown pattern attribute %q", i, cj.Attr)
+			}
+			codes := make([]int32, 0, len(cj.Values))
+			for _, v := range cj.Values {
+				if v == "" {
+					continue
+				}
+				codes = append(codes, p.Input.Dict(attr).Code(v))
+			}
+			c := rule.NewCondition(attr, codes, cj.Label)
+			c.Negate = cj.Negate
+			pattern = append(pattern, c)
+		}
+		out = append(out, core.MinedRule{
+			Rule: rule.New(lhs, y, ym, pattern),
+			Measures: measure.Measures{
+				Support:   rj.Support,
+				Certainty: rj.Certainty,
+				Quality:   rj.Quality,
+				Utility:   rj.Utility,
+			},
+		})
+	}
+	return out, nil
+}

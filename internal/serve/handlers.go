@@ -1,0 +1,422 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/repair"
+	"erminer/internal/rulesio"
+)
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.HandleFunc("POST /v1/validate", s.handleValidate)
+	mux.HandleFunc("GET /v1/rules", s.handleRulesGet)
+	mux.HandleFunc("PUT /v1/rules", s.handleRulesPut)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobsPost)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobsGet)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeJSON strictly decodes the request body into v (unknown fields
+// and trailing garbage are errors, and the body is size-capped).
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// tupleBatch is the common request shape of /v1/repair and /v1/validate:
+// a batch of tuples as column-name → value maps. Absent columns are
+// treated as missing (Null).
+type tupleBatch struct {
+	Tuples []map[string]string `json:"tuples"`
+	// OnlyMissing restricts repair to Null cells (imputation mode).
+	OnlyMissing bool `json:"only_missing,omitempty"`
+	// Explain adds each contributing rule's full candidate histogram to
+	// every fix (the rule list itself is always included).
+	Explain bool `json:"explain,omitempty"`
+}
+
+// encodeBatch builds a private relation over the serving input schema
+// from the posted tuples, sharing the serving dictionary pool so codes
+// align with the master data. It write-locks the dictionaries: unseen
+// values are interned.
+func (s *Server) encodeBatch(tuples []map[string]string) (*relation.Relation, error) {
+	for i, t := range tuples {
+		if t == nil {
+			tuples[i] = map[string]string{}
+		}
+	}
+	schema := s.p.Input.Schema()
+	s.dictMu.Lock()
+	defer s.dictMu.Unlock()
+	rel := relation.New(schema, s.p.Input.Pool())
+	vals := make([]string, schema.Len())
+	for i, t := range tuples {
+		for j := range vals {
+			vals[j] = ""
+		}
+		for col, v := range t {
+			idx := schema.Index(col)
+			if idx < 0 {
+				return nil, fmt.Errorf("tuple %d: unknown column %q", i, col)
+			}
+			vals[idx] = v
+		}
+		rel.AppendRow(vals)
+	}
+	return rel, nil
+}
+
+// runRules evaluates the active rule set over the posted batch on the
+// shared index cache, honouring the request deadline. The returned
+// evaluator has already had its stats folded into the server metrics.
+func (s *Server) runRules(ctx context.Context, rel *relation.Relation, rs *ruleSet) (*measure.Evaluator, repair.Result, error) {
+	ev := measure.NewSharedEvaluator(rel, s.p.Master, nil, s.p.IndexCache)
+	ev.Parallelism = s.p.Workers()
+	res, err := repair.ApplyContext(ctx, ev, rs.list)
+	s.metrics.indexBuilds.Add(int64(ev.Stats.IndexBuilds))
+	return ev, res, err
+}
+
+// fixJSON is one repaired cell with its justification.
+type fixJSON struct {
+	Row   int     `json:"row"`
+	Attr  string  `json:"attr"`
+	Old   string  `json:"old"`
+	New   string  `json:"new"`
+	Score float64 `json:"score"`
+	// Rules lists the covering rules that contributed candidates.
+	Rules []string `json:"rules,omitempty"`
+	// Evidence carries each rule's candidate histogram (explain=true).
+	Evidence []evidenceJSON `json:"evidence,omitempty"`
+}
+
+type evidenceJSON struct {
+	Rule       string          `json:"rule"`
+	Candidates []candidateJSON `json:"candidates"`
+}
+
+type candidateJSON struct {
+	Value string  `json:"value"`
+	Count int     `json:"count"`
+	Score float64 `json:"score"`
+}
+
+type repairResponse struct {
+	Tuples       []map[string]string `json:"tuples"`
+	Fixes        []fixJSON           `json:"fixes"`
+	Covered      int                 `json:"covered"`
+	Changed      int                 `json:"changed"`
+	RulesVersion int64               `json:"rules_version"`
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req tupleBatch
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Tuples) == 0 {
+		httpError(w, http.StatusBadRequest, "empty tuple batch")
+		return
+	}
+	if len(req.Tuples) > s.cfg.maxBatch() {
+		httpError(w, http.StatusBadRequest, "batch of %d tuples exceeds the %d limit", len(req.Tuples), s.cfg.maxBatch())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.requestTimeout())
+	defer cancel()
+
+	release, status, err := s.acquire(ctx.Done())
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	defer release()
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+	if s.holdRepair != nil {
+		s.holdRepair()
+	}
+	s.metrics.tuplesSeen.Add(int64(len(req.Tuples)))
+
+	rs := s.rules()
+	rel, err := s.encodeBatch(req.Tuples)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ev, res, err := s.runRules(ctx, rel, rs)
+	if err != nil {
+		s.metrics.timeoutsTotal.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "repair timed out: %v", err)
+		return
+	}
+
+	y := s.p.Y
+	yName := s.p.Input.Schema().Attr(y).Name
+	oldCodes := make([]int32, rel.NumRows())
+	for row := range oldCodes {
+		oldCodes[row] = rel.Code(row, y)
+	}
+	changed := repair.WriteFixes(rel, y, res, req.OnlyMissing)
+
+	resp := repairResponse{
+		Tuples:       req.Tuples,
+		Fixes:        []fixJSON{},
+		Covered:      res.Covered,
+		Changed:      changed,
+		RulesVersion: rs.version,
+	}
+	s.dictMu.RLock()
+	for row := 0; row < rel.NumRows(); row++ {
+		if res.Pred[row] == relation.Null || rel.Code(row, y) == oldCodes[row] {
+			continue
+		}
+		fix := fixJSON{
+			Row:   row,
+			Attr:  yName,
+			Old:   rel.Dict(y).Value(oldCodes[row]),
+			New:   rel.Dict(y).Value(res.Pred[row]),
+			Score: res.Score[row],
+		}
+		exp := repair.Explain(ev, rs.list, row)
+		for _, evd := range exp.Evidence {
+			ruleStr := evd.Rule.String(rel, s.p.Master.Schema())
+			fix.Rules = append(fix.Rules, ruleStr)
+			if req.Explain {
+				ej := evidenceJSON{Rule: ruleStr}
+				for _, c := range evd.Candidates {
+					ej.Candidates = append(ej.Candidates, candidateJSON{
+						Value: rel.Dict(y).Value(c.Value),
+						Count: c.Count,
+						Score: c.Score,
+					})
+				}
+				fix.Evidence = append(fix.Evidence, ej)
+			}
+		}
+		resp.Tuples[row][yName] = fix.New
+		resp.Fixes = append(resp.Fixes, fix)
+	}
+	s.dictMu.RUnlock()
+	s.metrics.repairsApplied.Add(int64(changed))
+	s.metrics.observeLatency(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type validationJSON struct {
+	Row      int     `json:"row"`
+	Status   string  `json:"status"` // consistent, violation, missing, uncovered
+	Attr     string  `json:"attr"`
+	Got      string  `json:"got,omitempty"`
+	Expected string  `json:"expected,omitempty"`
+	Score    float64 `json:"score,omitempty"`
+}
+
+type validateResponse struct {
+	Results      []validationJSON `json:"results"`
+	Violations   int              `json:"violations"`
+	Missing      int              `json:"missing"`
+	Uncovered    int              `json:"uncovered"`
+	RulesVersion int64            `json:"rules_version"`
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req tupleBatch
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Tuples) == 0 {
+		httpError(w, http.StatusBadRequest, "empty tuple batch")
+		return
+	}
+	if len(req.Tuples) > s.cfg.maxBatch() {
+		httpError(w, http.StatusBadRequest, "batch of %d tuples exceeds the %d limit", len(req.Tuples), s.cfg.maxBatch())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.requestTimeout())
+	defer cancel()
+
+	release, status, err := s.acquire(ctx.Done())
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	defer release()
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+	s.metrics.tuplesSeen.Add(int64(len(req.Tuples)))
+
+	rs := s.rules()
+	rel, err := s.encodeBatch(req.Tuples)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	_, res, err := s.runRules(ctx, rel, rs)
+	if err != nil {
+		s.metrics.timeoutsTotal.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "validation timed out: %v", err)
+		return
+	}
+
+	y := s.p.Y
+	yName := s.p.Input.Schema().Attr(y).Name
+	resp := validateResponse{Results: make([]validationJSON, rel.NumRows()), RulesVersion: rs.version}
+	s.dictMu.RLock()
+	for row := 0; row < rel.NumRows(); row++ {
+		v := validationJSON{Row: row, Attr: yName, Got: rel.Value(row, y)}
+		switch cur := rel.Code(row, y); {
+		case res.Pred[row] == relation.Null:
+			v.Status = "uncovered"
+			resp.Uncovered++
+		case cur == relation.Null:
+			v.Status = "missing"
+			v.Expected = rel.Dict(y).Value(res.Pred[row])
+			v.Score = res.Score[row]
+			resp.Missing++
+		case cur == res.Pred[row]:
+			v.Status = "consistent"
+		default:
+			v.Status = "violation"
+			v.Expected = rel.Dict(y).Value(res.Pred[row])
+			v.Score = res.Score[row]
+			resp.Violations++
+		}
+		resp.Results[row] = v
+	}
+	s.dictMu.RUnlock()
+	s.metrics.observeLatency(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRulesGet serves the active rule set in the portable wire format
+// (the same JSON -export-rules writes and -import-rules reads), with the
+// generation in the X-Rules-Version header.
+func (s *Server) handleRulesGet(w http.ResponseWriter, r *http.Request) {
+	rs := s.rules()
+	s.dictMu.RLock()
+	data, err := rulesio.Export(s.p, rs.rules)
+	s.dictMu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "exporting rules: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Rules-Version", fmt.Sprint(rs.version))
+	w.Write(data)
+}
+
+func (s *Server) handleRulesPut(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	version, count, err := s.SwapRules(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"version": version, "count": count})
+}
+
+func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := s.decodeJSON(w, r, &spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if _, err := newMiner(spec); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.jobs.submit(spec)
+	switch {
+	case errors.Is(err, errJobQueueFull):
+		s.metrics.rejectedTotal.Add(1)
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, errShuttingDown):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleJobsGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rs := s.rules()
+	queued, running := s.jobs.depths()
+	status := "ok"
+	code := http.StatusOK
+	if s.closed.Load() {
+		status = "shutting_down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"rules_active":   len(rs.rules),
+		"rules_version":  rs.version,
+		"jobs_queued":    queued,
+		"jobs_running":   running,
+		"uptime_seconds": int64(time.Since(s.metrics.start).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rs := s.rules()
+	queued, running := s.jobs.depths()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.write(w, len(rs.rules), rs.version, queued, running)
+}

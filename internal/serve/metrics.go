@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is the number of recent request latencies the percentile
+// estimator keeps. A fixed ring bounds memory under sustained traffic;
+// p50/p99 are computed over the window at scrape time.
+const latencyWindow = 1024
+
+// metrics holds the daemon's plain-text counters. Hot-path updates are
+// atomic; only the latency ring takes a lock (one short critical section
+// per request and per scrape).
+type metrics struct {
+	start time.Time
+
+	requestsTotal  atomic.Int64 // every HTTP request received
+	rejectedTotal  atomic.Int64 // 429s from the bounded queue
+	timeoutsTotal  atomic.Int64 // requests cut off by the per-request timeout
+	inFlight       atomic.Int64 // repair/validate requests holding a worker slot
+	queueDepth     atomic.Int64 // repair/validate requests waiting for a slot
+	repairsApplied atomic.Int64 // cells changed by POST /v1/repair
+	tuplesSeen     atomic.Int64 // tuples received across repair+validate
+	indexBuilds    atomic.Int64 // master indexes built (cache misses) on the serving path
+	ruleSwaps      atomic.Int64 // successful rule-set activations
+	jobsDone       atomic.Int64
+	jobsFailed     atomic.Int64
+
+	latMu sync.Mutex
+	lat   [latencyWindow]float64 // milliseconds
+	latN  int64                  // total observations (ring write cursor = latN % window)
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.latMu.Lock()
+	m.lat[m.latN%latencyWindow] = ms
+	m.latN++
+	m.latMu.Unlock()
+}
+
+// percentiles returns p50 and p99 over the latency window, in
+// milliseconds. Zeroes when nothing has been observed yet.
+func (m *metrics) percentiles() (p50, p99 float64) {
+	m.latMu.Lock()
+	n := m.latN
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	buf := make([]float64, n)
+	copy(buf, m.lat[:n])
+	m.latMu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(buf)
+	rank := func(q float64) float64 {
+		i := int(q*float64(n-1) + 0.5)
+		return buf[i]
+	}
+	return rank(0.50), rank(0.99)
+}
+
+// write renders the counters in a flat `name value` text format (one
+// metric per line, Prometheus-parsable as untyped gauges).
+func (m *metrics) write(w io.Writer, rulesActive int, rulesVersion int64, jobsQueued, jobsRunning int) {
+	p50, p99 := m.percentiles()
+	fmt.Fprintf(w, "erminerd_uptime_seconds %.0f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "erminerd_requests_total %d\n", m.requestsTotal.Load())
+	fmt.Fprintf(w, "erminerd_requests_in_flight %d\n", m.inFlight.Load())
+	fmt.Fprintf(w, "erminerd_queue_depth %d\n", m.queueDepth.Load())
+	fmt.Fprintf(w, "erminerd_rejected_total %d\n", m.rejectedTotal.Load())
+	fmt.Fprintf(w, "erminerd_timeouts_total %d\n", m.timeoutsTotal.Load())
+	fmt.Fprintf(w, "erminerd_tuples_total %d\n", m.tuplesSeen.Load())
+	fmt.Fprintf(w, "erminerd_repairs_applied_total %d\n", m.repairsApplied.Load())
+	fmt.Fprintf(w, "erminerd_index_builds_total %d\n", m.indexBuilds.Load())
+	fmt.Fprintf(w, "erminerd_rules_active %d\n", rulesActive)
+	fmt.Fprintf(w, "erminerd_rules_version %d\n", rulesVersion)
+	fmt.Fprintf(w, "erminerd_rule_swaps_total %d\n", m.ruleSwaps.Load())
+	fmt.Fprintf(w, "erminerd_jobs_queued %d\n", jobsQueued)
+	fmt.Fprintf(w, "erminerd_jobs_running %d\n", jobsRunning)
+	fmt.Fprintf(w, "erminerd_jobs_done_total %d\n", m.jobsDone.Load())
+	fmt.Fprintf(w, "erminerd_jobs_failed_total %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "erminerd_repair_latency_p50_ms %.3f\n", p50)
+	fmt.Fprintf(w, "erminerd_repair_latency_p99_ms %.3f\n", p99)
+}

@@ -1,117 +1,20 @@
 package erminer
 
-import (
-	"encoding/json"
-	"fmt"
+import "erminer/internal/rulesio"
 
-	"erminer/internal/rule"
-)
-
-// ruleJSON is the portable wire format of one editing rule: attribute
-// names and string values rather than schema indices and dictionary
-// codes, so a rule file survives re-encoding of the data.
-type ruleJSON struct {
-	LHS     [][2]string `json:"lhs"` // [input attr, master attr] pairs
-	Y       string      `json:"y"`
-	Ym      string      `json:"ym"`
-	Pattern []condJSON  `json:"pattern,omitempty"`
-	// Measures travel along for documentation; they are recomputed on
-	// import if needed.
-	Support   int     `json:"support,omitempty"`
-	Certainty float64 `json:"certainty,omitempty"`
-	Quality   float64 `json:"quality,omitempty"`
-	Utility   float64 `json:"utility,omitempty"`
-}
-
-type condJSON struct {
-	Attr   string   `json:"attr"`
-	Values []string `json:"values"`
-	Negate bool     `json:"negate,omitempty"`
-	Label  string   `json:"label,omitempty"`
-}
-
-// ExportRules serialises mined rules to JSON, resolving indices and
-// codes through the problem's schemas and dictionaries.
+// ExportRules serialises mined rules to portable JSON: attribute names
+// and string values rather than schema indices and dictionary codes, so
+// a rule file survives re-encoding of the data. The same wire format is
+// served by erminerd's GET /v1/rules and accepted by PUT /v1/rules.
 func ExportRules(p *Problem, rules []MinedRule) ([]byte, error) {
-	rs := p.Input.Schema()
-	ms := p.Master.Schema()
-	out := make([]ruleJSON, 0, len(rules))
-	for _, mr := range rules {
-		r := mr.Rule
-		rj := ruleJSON{
-			Y:         rs.Attr(r.Y).Name,
-			Ym:        ms.Attr(r.Ym).Name,
-			Support:   mr.Measures.Support,
-			Certainty: mr.Measures.Certainty,
-			Quality:   mr.Measures.Quality,
-			Utility:   mr.Measures.Utility,
-		}
-		for _, pr := range r.LHS {
-			rj.LHS = append(rj.LHS, [2]string{
-				rs.Attr(pr.Input).Name, ms.Attr(pr.Master).Name,
-			})
-		}
-		for _, c := range r.Pattern {
-			cj := condJSON{
-				Attr:   rs.Attr(c.Attr).Name,
-				Negate: c.Negate,
-				Label:  c.Label,
-			}
-			for _, code := range c.Codes {
-				cj.Values = append(cj.Values, p.Input.Dict(c.Attr).Value(code))
-			}
-			rj.Pattern = append(rj.Pattern, cj)
-		}
-		out = append(out, rj)
-	}
-	return json.MarshalIndent(out, "", "  ")
+	return rulesio.Export(p, rules)
 }
 
 // ImportRules parses rules exported by ExportRules against a problem's
 // schemas, interning pattern values into the input dictionaries. The
-// returned rules carry no measures; evaluate or Repair with them as
-// usual.
+// measures recorded in the file are carried through verbatim — they
+// describe the data the rules were mined on; re-evaluate to score the
+// rules against this problem's data.
 func ImportRules(p *Problem, data []byte) ([]MinedRule, error) {
-	var raw []ruleJSON
-	if err := json.Unmarshal(data, &raw); err != nil {
-		return nil, fmt.Errorf("erminer: parsing rules JSON: %w", err)
-	}
-	rs := p.Input.Schema()
-	ms := p.Master.Schema()
-	out := make([]MinedRule, 0, len(raw))
-	for i, rj := range raw {
-		y := rs.Index(rj.Y)
-		ym := ms.Index(rj.Ym)
-		if y < 0 || ym < 0 {
-			return nil, fmt.Errorf("erminer: rule %d: unknown dependent attributes %q/%q", i, rj.Y, rj.Ym)
-		}
-		var lhs []rule.AttrPair
-		for _, pr := range rj.LHS {
-			a := rs.Index(pr[0])
-			am := ms.Index(pr[1])
-			if a < 0 || am < 0 {
-				return nil, fmt.Errorf("erminer: rule %d: unknown LHS pair %v", i, pr)
-			}
-			lhs = append(lhs, rule.AttrPair{Input: a, Master: am})
-		}
-		var pattern []rule.Condition
-		for _, cj := range rj.Pattern {
-			attr := rs.Index(cj.Attr)
-			if attr < 0 {
-				return nil, fmt.Errorf("erminer: rule %d: unknown pattern attribute %q", i, cj.Attr)
-			}
-			codes := make([]int32, 0, len(cj.Values))
-			for _, v := range cj.Values {
-				if v == "" {
-					continue
-				}
-				codes = append(codes, p.Input.Dict(attr).Code(v))
-			}
-			c := rule.NewCondition(attr, codes, cj.Label)
-			c.Negate = cj.Negate
-			pattern = append(pattern, c)
-		}
-		out = append(out, MinedRule{Rule: rule.New(lhs, y, ym, pattern)})
-	}
-	return out, nil
+	return rulesio.Import(p, data)
 }

@@ -1,0 +1,165 @@
+package erminer_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"erminer"
+)
+
+// loadFixtureProblem builds the CSV fixture problem used by the
+// wire-format round-trip tests.
+func loadFixtureProblem(t *testing.T) *erminer.Problem {
+	t.Helper()
+	in, ms := writeCSVFixture(t)
+	p, err := erminer.LoadCSVProblem(erminer.CSVSpec{
+		InputPath: in, MasterPath: ms, Y: "postcode", Ym: "postcode",
+		MatchPairs: map[string]string{"district": "district", "area": "area"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestImportRulesNegatedAndLabeled round-trips a rule file whose pattern
+// carries a negated, multi-value, labelled condition — the condJSON
+// fields beyond the plain attr/values pair.
+func TestImportRulesNegatedAndLabeled(t *testing.T) {
+	p := loadFixtureProblem(t)
+	src := []byte(`[
+	  {
+	    "lhs": [["district", "district"], ["area", "area"]],
+	    "y": "postcode",
+	    "ym": "postcode",
+	    "pattern": [
+	      {"attr": "district", "values": ["central", "east"], "negate": true, "label": "district∉{central,east}"},
+	      {"attr": "area", "values": ["010"]}
+	    ],
+	    "support": 7,
+	    "certainty": 0.875,
+	    "quality": 0.5,
+	    "utility": 3.25
+	  }
+	]`)
+	rules, err := erminer.ImportRules(p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("imported %d rules, want 1", len(rules))
+	}
+	r := rules[0].Rule
+	if len(r.Pattern) != 2 {
+		t.Fatalf("pattern has %d conditions, want 2", len(r.Pattern))
+	}
+	neg, plain := r.Pattern[0], r.Pattern[1]
+	if !neg.Negate {
+		t.Error("negate flag lost on import")
+	}
+	if neg.Label != "district∉{central,east}" {
+		t.Errorf("label lost on import: %q", neg.Label)
+	}
+	if len(neg.Codes) != 2 {
+		t.Errorf("negated condition has %d codes, want 2", len(neg.Codes))
+	}
+	if plain.Negate || plain.Label != "" {
+		t.Errorf("plain condition gained negate/label: %+v", plain)
+	}
+	// Measures are carried through verbatim.
+	m := rules[0].Measures
+	if m.Support != 7 || m.Certainty != 0.875 || m.Quality != 0.5 || m.Utility != 3.25 {
+		t.Errorf("measures not carried through: %+v", m)
+	}
+
+	// The negated condition behaves: it must reject central/east rows
+	// and accept the others.
+	rel := p.Input
+	seen := map[bool]bool{}
+	for row := 0; row < rel.NumRows(); row++ {
+		d := rel.Value(row, rel.Schema().Index("district"))
+		matchesDistrict := neg.Matches(rel.Code(row, neg.Attr))
+		if d == "central" || d == "east" {
+			if matchesDistrict {
+				t.Fatalf("row %d: negated condition matched excluded district %q", row, d)
+			}
+		} else if !matchesDistrict {
+			t.Fatalf("row %d: negated condition rejected district %q", row, d)
+		}
+		seen[matchesDistrict] = true
+	}
+	if !seen[true] || !seen[false] {
+		t.Fatal("fixture did not exercise both branches of the negated condition")
+	}
+}
+
+// TestExportImportNegatedRoundTrip re-exports an imported negated+labelled
+// rule and checks the wire image and rule identity survive unchanged.
+func TestExportImportNegatedRoundTrip(t *testing.T) {
+	p := loadFixtureProblem(t)
+	src := []byte(`[
+	  {
+	    "lhs": [["district", "district"]],
+	    "y": "postcode",
+	    "ym": "postcode",
+	    "pattern": [
+	      {"attr": "area", "values": ["010", "020"], "negate": true, "label": "area∉{010,020}"}
+	    ],
+	    "support": 3,
+	    "certainty": 1,
+	    "utility": 2.4
+	  }
+	]`)
+	first, err := erminer.ImportRules(p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := erminer.ExportRules(p, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The exported wire image preserves negate, label, values and measures.
+	var wire []map[string]any
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 1 {
+		t.Fatalf("wire image has %d rules", len(wire))
+	}
+	pattern, ok := wire[0]["pattern"].([]any)
+	if !ok || len(pattern) != 1 {
+		t.Fatalf("wire pattern missing: %v", wire[0])
+	}
+	cond := pattern[0].(map[string]any)
+	if cond["negate"] != true {
+		t.Errorf("wire image lost negate: %v", cond)
+	}
+	if cond["label"] != "area∉{010,020}" {
+		t.Errorf("wire image lost label: %v", cond)
+	}
+	if got := len(cond["values"].([]any)); got != 2 {
+		t.Errorf("wire image has %d values, want 2", got)
+	}
+	if wire[0]["support"] != float64(3) {
+		t.Errorf("wire image lost measures: %v", wire[0])
+	}
+
+	// A second import against the same problem yields the identical rule.
+	second, err := erminer.ImportRules(p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 1 {
+		t.Fatalf("re-imported %d rules", len(second))
+	}
+	if first[0].Rule.Key() != second[0].Rule.Key() {
+		t.Errorf("rule identity changed across round-trip:\n  %s\n  %s",
+			first[0].Rule.Key(), second[0].Rule.Key())
+	}
+	fm, sm := first[0].Measures, second[0].Measures
+	if sm.Support != fm.Support || sm.Certainty != fm.Certainty ||
+		sm.Quality != fm.Quality || sm.Utility != fm.Utility {
+		t.Errorf("measures changed across round-trip: %+v vs %+v", sm, fm)
+	}
+}
