@@ -1,11 +1,24 @@
 # Developer entry points. `make check` is the gate every change must
-# pass: gofmt + vet + build (all packages, including cmd/erminer and
-# cmd/erminerd) + race-enabled tests (see scripts/check.sh).
+# pass: gofmt + vet + ermvet (the repo's own static-analysis pass, see
+# README "Static analysis") + build (all packages, including cmd/erminer
+# and cmd/erminerd) + race-enabled tests (see scripts/check.sh).
 
-.PHONY: check test bench build serve
+.PHONY: check lint fuzz test bench build serve
 
 check:
 	./scripts/check.sh
+
+# The ermvet pass alone: the five repo-specific determinism and
+# concurrency checks over every non-test package.
+lint:
+	go run ./cmd/ermvet ./...
+
+# Short fuzz smoke over the two byte-parsing surfaces: the CSV ingestion
+# path and the rules JSON import. CI-friendly 5s per target; raise
+# -fuzztime locally for a real hunt.
+fuzz:
+	go test -run '^$$' -fuzz FuzzReadCSV -fuzztime 5s .
+	go test -run '^$$' -fuzz FuzzImportRules -fuzztime 5s ./internal/rulesio
 
 build:
 	go build ./...

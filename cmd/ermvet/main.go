@@ -1,0 +1,157 @@
+// ermvet is the repository's custom static-analysis gate: it
+// machine-checks the determinism and concurrency invariants the
+// parallel mining engine and the serving daemon rely on (see package
+// erminer/internal/analysis for the check list and the
+// //ermvet:ignore suppression convention).
+//
+// Usage:
+//
+//	go run ./cmd/ermvet ./...
+//	go run ./cmd/ermvet ./internal/serve ./internal/measure
+//	go run ./cmd/ermvet -checks detrand,maporder ./...
+//	go run ./cmd/ermvet -list
+//
+// Patterns are module-root-relative directories; a trailing /... matches
+// the subtree. Exit status is 1 when any finding survives suppression,
+// 2 when the module itself fails to load or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"erminer/internal/analysis"
+)
+
+func main() {
+	listChecks := flag.Bool("list", false, "list the checks and exit")
+	checkNames := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ermvet [-list] [-checks name,...] [pattern ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listChecks {
+		for _, c := range analysis.AllChecks {
+			fmt.Printf("%-10s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+	checks, err := selectChecks(*checkNames)
+	if err != nil {
+		fail(err)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fail(err)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fail(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(root, pkg.Dir)
+		if err != nil {
+			fail(err)
+		}
+		if !matchAny(patterns, filepath.ToSlash(rel)) {
+			continue
+		}
+		for _, d := range analysis.Run(pkg, checks) {
+			d.Pos.Filename = relTo(root, d.Pos.Filename)
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "ermvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ermvet:", err)
+	os.Exit(2)
+}
+
+// selectChecks resolves the -checks flag; an empty flag selects every
+// check.
+func selectChecks(names string) ([]*analysis.Check, error) {
+	if names == "" {
+		return analysis.AllChecks, nil
+	}
+	var checks []*analysis.Check
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, c := range analysis.AllChecks {
+			if c.Name == name {
+				checks = append(checks, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown check %q (run ermvet -list)", name)
+		}
+	}
+	return checks, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// matchAny matches a module-root-relative package directory ("." for
+// the root package) against the given patterns.
+func matchAny(patterns []string, rel string) bool {
+	for _, p := range patterns {
+		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+		switch {
+		case p == "..." || p == ".":
+			return true
+		case strings.HasSuffix(p, "/..."):
+			base := strings.TrimSuffix(p, "/...")
+			if rel == base || strings.HasPrefix(rel, base+"/") {
+				return true
+			}
+		case rel == p:
+			return true
+		}
+	}
+	return false
+}
+
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

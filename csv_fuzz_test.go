@@ -1,0 +1,38 @@
+package erminer
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV drives the CSV ingestion path — parsing plus the two raw
+// heuristics that consume its output before any relation exists
+// (continuous-column detection and value-overlap schema matching) —
+// with arbitrary bytes. Anything short of a clean error is a bug.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("a,b,y\n1,x,yes\n2,x,no\n"))
+	f.Add([]byte("a,b,y\n"))
+	f.Add([]byte(`name,"quoted,col"` + "\n" + `"v,1",w` + "\n"))
+	f.Add([]byte("a;b\n1;2\n"))
+	f.Add([]byte("a,b\n1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\xff\xfe,\x00\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		header, rows, err := readCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(header) == 0 {
+			t.Fatalf("readCSV returned no error and an empty header")
+		}
+		for _, row := range rows {
+			if len(row) != len(header) {
+				t.Fatalf("ragged row accepted: %d fields, header has %d", len(row), len(header))
+			}
+		}
+		for i := range header {
+			looksContinuous(column(rows, i))
+		}
+		inferPairsByValues(header, rows, header, rows)
+	})
+}

@@ -1,0 +1,170 @@
+// Package analysis is ermvet, the repository's custom static-analysis
+// pass. It machine-checks the determinism and concurrency invariants
+// the parallel mining engine (DESIGN.md decision 11) and the serving
+// daemon (decision 12) rely on, which code review alone cannot keep
+// enforced through heavy refactoring:
+//
+//   - detrand: determinism-critical packages take randomness as an
+//     injected seeded *rand.Rand and time through an injected clock —
+//     never the math/rand globals or time.Now.
+//   - maporder: iterating a map must not feed ordered output (a slice
+//     that is never sorted, or direct writes) — Go randomizes map order.
+//   - guardedby: struct fields annotated "guarded by <mu>" are only
+//     accessed in functions that lock <mu> on the same receiver.
+//   - floateq: no ==/!= on floating-point operands in the measure/loss
+//     packages (exact-zero sentinel tests excepted).
+//   - ctxcancel: exported blocking entry points of the serving and
+//     repair layers accept and honor a cancellation hook.
+//
+// A finding the code is genuinely entitled to is silenced in place with
+//
+//	//ermvet:ignore <check> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory, so
+// every suppression is a written-down decision. The pass is built on
+// go/ast, go/parser and go/types only, with standard-library imports
+// resolved from source (go/importer) — no third-party analyzer
+// framework.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Check is one analysis pass.
+type Check struct {
+	Name string
+	// Doc is the one-line summary `ermvet -checks` prints.
+	Doc string
+	Run func(*Pass)
+}
+
+// AllChecks is the full pass list, in reporting-name order.
+var AllChecks = []*Check{DetRand, MapOrder, GuardedBy, FloatEq, CtxCancel}
+
+// knownCheck also admits the meta-check name used for malformed
+// directives, so an ignore can never target a check that does not exist.
+func knownCheck(name string) bool {
+	for _, c := range AllChecks {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass hands one package to one check.
+type Pass struct {
+	*Package
+	Check  string
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:   p.Check,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the checks to one package, drops findings suppressed by a
+// well-formed //ermvet:ignore directive, and returns the survivors —
+// including one "ermvet" diagnostic per malformed directive, which is
+// itself unsuppressable — sorted by position.
+func Run(pkg *Package, checks []*Check) []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range checks {
+		pass := &Pass{
+			Package: pkg,
+			Check:   c.Name,
+			report:  func(d Diagnostic) { diags = append(diags, d) },
+		}
+		c.Run(pass)
+	}
+
+	ign, bad := ignoreDirectives(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if ign[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
+			ign[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = append(kept, bad...)
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+const ignorePrefix = "//ermvet:ignore"
+
+// ignoreDirectives scans every comment for suppression directives. A
+// directive must name a known check and carry a reason; anything else
+// is reported as an "ermvet" diagnostic so a silencing typo cannot
+// silently widen the gate.
+func ignoreDirectives(pkg *Package) (map[ignoreKey]bool, []Diagnostic) {
+	ign := make(map[ignoreKey]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0 || !knownCheck(fields[0]):
+					bad = append(bad, Diagnostic{
+						Check: "ermvet", Pos: pos,
+						Message: fmt.Sprintf("malformed ignore directive: want %q with a known check name", ignorePrefix+" <check> <reason>"),
+					})
+				case len(fields) < 2:
+					bad = append(bad, Diagnostic{
+						Check: "ermvet", Pos: pos,
+						Message: fmt.Sprintf("ignore directive for %q is missing its reason: every suppression must say why", fields[0]),
+					})
+				default:
+					ign[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return ign, bad
+}

@@ -1,0 +1,146 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"erminer/internal/analysis"
+)
+
+// wantRE matches a fixture expectation: a comment containing
+// `// want `<regexp>“ on the line where a diagnostic must appear.
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// TestChecks runs each check against its fixture packages and compares
+// the diagnostics against the fixtures' want-expectations in both
+// directions: a diagnostic with no matching want fails, and a want with
+// no matching diagnostic fails. Every check has at least one firing and
+// one non-firing fixture, and every fixture carries a suppressed case,
+// so the //ermvet:ignore path is exercised throughout.
+func TestChecks(t *testing.T) {
+	cases := []struct {
+		dir   string
+		check *analysis.Check
+	}{
+		{"detrand/measure", analysis.DetRand},
+		{"detrand/other", analysis.DetRand},
+		{"maporder/a", analysis.MapOrder},
+		{"guardedby/a", analysis.GuardedBy},
+		{"floateq/nn", analysis.FloatEq},
+		{"floateq/other", analysis.FloatEq},
+		{"ctxcancel/serve", analysis.CtxCancel},
+	}
+	for _, tc := range cases {
+		t.Run(strings.ReplaceAll(tc.dir, "/", "_"), func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", filepath.FromSlash(tc.dir))
+			pkg, err := analysis.LoadDir(dir, "fixture/"+tc.dir)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			wants := parseWants(t, pkg)
+			for _, d := range analysis.Run(pkg, []*analysis.Check{tc.check}) {
+				if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// parseWants scrapes the want-expectations from the fixture's comments.
+func parseWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unhit expectation matching the diagnostic.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestMalformedIgnores pins the exact diagnostics for broken
+// suppressions: an ignore without a reason and an ignore naming an
+// unknown check both surface as unsuppressable "ermvet" findings, and
+// the reasonless one does not silence the maporder finding under it.
+func TestMalformedIgnores(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "ignore", "bad")
+	pkg, err := analysis.LoadDir(dir, "fixture/ignore/bad")
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	file := filepath.Join(dir, "bad.go")
+	want := []string{
+		file + `:8:3: [ermvet] ignore directive for "maporder" is missing its reason: every suppression must say why`,
+		file + ":9:3: [maporder] map iteration appends to out, which is never sorted afterwards in this block; map order is random — sort it (with a total tie-break) or restructure",
+		file + `:14:1: [ermvet] malformed ignore directive: want "//ermvet:ignore <check> <reason>" with a known check name`,
+	}
+	var got []string
+	for _, d := range analysis.Run(pkg, analysis.AllChecks) {
+		got = append(got, d.String())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\ngot:  %s\nwant: %s",
+			len(got), len(want), strings.Join(got, "\n      "), strings.Join(want, "\n      "))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\ngot:  %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestModuleClean re-runs the full pass over the module from inside the
+// test suite, so `go test ./...` — not only scripts/check.sh — fails
+// the moment a determinism or locking invariant regresses (for example,
+// deleting the sort after a map-range in an annotated package).
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	pkgs, err := analysis.LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, analysis.AllChecks) {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrandPkgs are the determinism-critical packages: everything on the
+// mining and evaluation paths, whose outputs must be a pure function of
+// the input data and the run's seed (the bit-identical parallel-mining
+// guarantee of DESIGN.md decision 11 and the paper's reproducible-DQN
+// protocol both depend on it).
+var detrandPkgs = map[string]bool{
+	"enuminer": true,
+	"measure":  true,
+	"mdp":      true,
+	"rl":       true,
+	"rlminer":  true,
+	"relation": true,
+	"cfd":      true,
+	"datagen":  true,
+}
+
+// randConstructors are the math/rand calls that build an explicitly
+// seeded generator — the one approved way randomness enters these
+// packages. Everything else in math/rand draws from the global,
+// non-reproducible source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// timeReads are the wall-clock reads; a determinism-critical package
+// that wants timing stats takes an injected internal/clock.Clock.
+var timeReads = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// DetRand forbids global math/rand draws and wall-clock reads in the
+// determinism-critical packages.
+var DetRand = &Check{
+	Name: "detrand",
+	Doc:  "no global math/rand or time.Now in determinism-critical packages; inject *rand.Rand / clock.Clock",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) {
+	if !detrandPkgs[pass.Types.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFuncCall(pass.Info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+				pass.Reportf(call.Pos(),
+					"call to global %s.%s in determinism-critical package %s; draw from an injected seeded *rand.Rand instead",
+					path, name, pass.Types.Name())
+			case path == "time" && timeReads[name]:
+				pass.Reportf(call.Pos(),
+					"wall-clock read time.%s in determinism-critical package %s; take an injected clock.Clock instead",
+					name, pass.Types.Name())
+			}
+			return true
+		})
+	}
+}
+
+// pkgFuncCall resolves a call of the form pkg.Func, returning the
+// package's import path and the function name.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floateqPkgs are the numeric packages: measure aggregation, evaluation
+// metrics, the neural network and the DQN. Rounding there decides rule
+// rankings and training behavior, so an exact float comparison is
+// almost always a latent tie-break or convergence bug.
+var floateqPkgs = map[string]bool{
+	"measure": true,
+	"metrics": true,
+	"nn":      true,
+	"rl":      true,
+}
+
+// FloatEq flags == and != between floating-point operands in the
+// numeric packages. Comparing against the literal 0 is allowed: float
+// zero is exact, and the zero test is the idiomatic "config field unset"
+// and "skip zero entry" sentinel throughout the repo. Anything else
+// needs an epsilon, a total-order tie-break, or a written suppression.
+var FloatEq = &Check{
+	Name: "floateq",
+	Doc:  "no ==/!= on floats in numeric packages (exact-zero sentinel tests excepted)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	if !floateqPkgs[pass.Types.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if tv, ok := pass.Info.Types[be]; ok && tv.Value != nil {
+				return true // constant-folded at compile time
+			}
+			if !isFloat(pass.Info.TypeOf(be.X)) && !isFloat(pass.Info.TypeOf(be.Y)) {
+				return true
+			}
+			if isZeroConst(pass.Info, be.X) || isZeroConst(pass.Info, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"float equality %s %s %s; compare with an epsilon or restructure the tie-break",
+				types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GuardedBy enforces the repo's lock-annotation convention: a struct
+// field whose doc or line comment says "guarded by <mu>" (where <mu> is
+// a sibling sync.Mutex/sync.RWMutex field) may only be accessed inside
+// functions that lock <mu> on the same receiver chain. The check is
+// function-granular and syntactic about lock acquisition — it proves
+// "this function participates in the locking discipline", not a full
+// lockset analysis — which is exactly the drift code review keeps
+// missing: a new accessor added without any locking at all.
+var GuardedBy = &Check{
+	Name: "guardedby",
+	Doc:  `fields annotated "guarded by <mu>" are only accessed in functions that lock <mu>`,
+	Run:  runGuardedBy,
+}
+
+// GuardedByAnnotation is one scraped "guarded by" field annotation.
+// Scraping is purely syntactic so tests can inventory the annotations
+// of a single parsed file.
+type GuardedByAnnotation struct {
+	Struct string
+	Field  string
+	Mutex  string
+	Pos    token.Pos
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// GuardedByAnnotations scrapes the "guarded by" annotations of every
+// struct type declared in f.
+func GuardedByAnnotations(f *ast.File) []GuardedByAnnotation {
+	var anns []GuardedByAnnotation
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			text := ""
+			if field.Doc != nil {
+				text += field.Doc.Text()
+			}
+			if field.Comment != nil {
+				text += field.Comment.Text()
+			}
+			m := guardedByRE.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			for _, name := range field.Names {
+				anns = append(anns, GuardedByAnnotation{
+					Struct: ts.Name.Name,
+					Field:  name.Name,
+					Mutex:  m[1],
+					Pos:    name.Pos(),
+				})
+			}
+		}
+		return true
+	})
+	return anns
+}
+
+func runGuardedBy(pass *Pass) {
+	// guarded maps each annotated field object to its mutex field name.
+	guarded := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		for _, ann := range GuardedByAnnotations(f) {
+			obj := pass.Types.Scope().Lookup(ann.Struct)
+			if obj == nil {
+				pass.Reportf(ann.Pos, "guarded-by annotation on field %s of %s, which is not a package-level type", ann.Field, ann.Struct)
+				continue
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				pass.Reportf(ann.Pos, "guarded-by annotation on %s.%s, but %s is not a struct", ann.Struct, ann.Field, ann.Struct)
+				continue
+			}
+			var fieldVar, muVar *types.Var
+			for i := 0; i < st.NumFields(); i++ {
+				switch v := st.Field(i); v.Name() {
+				case ann.Field:
+					fieldVar = v
+				case ann.Mutex:
+					muVar = v
+				}
+			}
+			switch {
+			case fieldVar == nil:
+				// Unreachable from scraping, but keeps the resolution honest.
+				pass.Reportf(ann.Pos, "guarded-by annotation names unknown field %s.%s", ann.Struct, ann.Field)
+			case muVar == nil:
+				pass.Reportf(ann.Pos, "field %s.%s is annotated \"guarded by %s\", but %s has no field %s",
+					ann.Struct, ann.Field, ann.Mutex, ann.Struct, ann.Mutex)
+			case !isMutex(muVar.Type()):
+				pass.Reportf(ann.Pos, "field %s.%s is annotated \"guarded by %s\", but %s.%s is %s, not a sync.Mutex or sync.RWMutex",
+					ann.Struct, ann.Field, ann.Mutex, ann.Struct, ann.Mutex, muVar.Type())
+			default:
+				guarded[fieldVar] = ann.Mutex
+			}
+		}
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			locks := lockedChains(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection := pass.Info.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, ok := guarded[field]
+				if !ok {
+					return true
+				}
+				want := types.ExprString(sel.X) + "." + mu
+				if !locks[want] {
+					pass.Reportf(sel.Sel.Pos(),
+						"%s accessed without locking %s in %s (field is annotated \"guarded by %s\")",
+						types.ExprString(sel), want, fn.Name.Name, mu)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// lockedChains collects every "<recv>.<mu>" whose Lock or RLock the
+// function body calls (including deferred calls and calls from nested
+// function literals).
+func lockedChains(body *ast.BlockStmt) map[string]bool {
+	locks := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		locks[types.ExprString(sel.X)] = true
+		return true
+	})
+	return locks
+}
+
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// Path is the import path ("erminer/internal/serve"); fixture
+	// packages get the synthetic path the test harness assigns.
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// pkgSrc is a parsed-but-not-yet-type-checked package.
+type pkgSrc struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports map[string]bool
+}
+
+// LoadModule parses and type-checks every non-test package of the Go
+// module rooted at root, in dependency order, and returns them sorted by
+// import path. Module-internal imports resolve to the packages loaded
+// here; standard-library imports are type-checked from GOROOT source via
+// importer.ForCompiler(..., "source", ...) — no module dependencies.
+// Directories named testdata or vendor and hidden directories are
+// skipped, matching the go tool, so the analyzer's own intentionally
+// hazardous fixtures never reach the gate. Test files are excluded:
+// the checked invariants are properties of the library and serving
+// paths, and tests prove determinism by assertion instead (DESIGN.md
+// decision 13).
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	srcs := make(map[string]*pkgSrc)
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		src, err := parseDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if src == nil {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			src.path = modPath
+		} else {
+			src.path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		srcs[src.path] = src
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	order, err := topoSort(srcs, modPath)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := typeCheck(fset, order)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given synthetic import path. Imports must resolve within the standard
+// library — this is the fixture loader for the analyzer's own tests.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	src, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	src.path = importPath
+	pkgs, err := typeCheck(fset, []*pkgSrc{src})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil
+// when there are none.
+func parseDir(fset *token.FileSet, dir string) (*pkgSrc, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	src := &pkgSrc{dir: dir, imports: make(map[string]bool)}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		src.files = append(src.files, f)
+		for _, imp := range f.Imports {
+			src.imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(src.files) == 0 {
+		return nil, nil
+	}
+	return src, nil
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer; import cycles are reported rather than looping.
+func topoSort(srcs map[string]*pkgSrc, modPath string) ([]*pkgSrc, error) {
+	paths := make([]string, 0, len(srcs))
+	for p := range srcs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(srcs))
+	var order []*pkgSrc
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		state[path] = visiting
+		src := srcs[path]
+		deps := make([]string, 0, len(src.imports))
+		for imp := range src.imports {
+			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+				deps = append(deps, imp)
+			}
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := srcs[dep]; !ok {
+				return fmt.Errorf("analysis: %s imports %s, which has no Go files", path, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, src)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports to the packages
+// type-checked in this run and everything else (the standard library)
+// through the source importer.
+type moduleImporter struct {
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+func typeCheck(fset *token.FileSet, order []*pkgSrc) ([]*Package, error) {
+	imp := &moduleImporter{
+		std:   importer.ForCompiler(fset, "source", nil),
+		local: make(map[string]*types.Package, len(order)),
+	}
+	pkgs := make([]*Package, 0, len(order))
+	for _, src := range order {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(src.path, fset, src.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", src.path, err)
+		}
+		imp.local[src.path] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:  src.path,
+			Dir:   src.dir,
+			Fset:  fset,
+			Files: src.files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}

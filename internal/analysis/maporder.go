@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body builds ordered output:
+// appending to a slice that no later statement in the enclosing block
+// sorts, or writing output directly from inside the loop. Go randomizes
+// map iteration order per run, so either pattern is exactly the
+// nondeterminism the parallel-mining determinism tests guard against —
+// the fix is the sort-after-range idiom used throughout the repo
+// (collect, then sort with a total tie-break).
+var MapOrder = &Check{
+	Name: "maporder",
+	Doc:  "map iteration must not feed ordered output: sort collected slices, never print from the loop body",
+	Run:  runMapOrder,
+}
+
+// orderedWriters are call names that emit output in iteration order.
+var orderedWriters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				if l, ok := stmt.(*ast.LabeledStmt); ok {
+					stmt = l.Stmt
+				}
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.Info.TypeOf(rng.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				checkMapRange(pass, rng, list[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && orderedWriters[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"%s.%s inside map iteration emits output in random map order; collect into a slice and sort first",
+					types.ExprString(sel.X), sel.Sel.Name)
+			}
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || pass.Info.Uses[id] != types.Universe.Lookup("append") {
+			return true
+		}
+		target := assign.Lhs[0]
+		if declaredWithin(pass.Info, target, rng.Pos(), rng.End()) {
+			return true
+		}
+		if !sortedAfter(pass.Info, types.ExprString(target), rest) {
+			pass.Reportf(assign.Pos(),
+				"map iteration appends to %s, which is never sorted afterwards in this block; map order is random — sort it (with a total tie-break) or restructure",
+				types.ExprString(target))
+		}
+		return true
+	})
+}
+
+// declaredWithin reports whether the root identifier of expr is declared
+// inside [lo, hi] — an append to a loop-local slice is a fresh slice per
+// iteration and carries no cross-iteration order.
+func declaredWithin(info *types.Info, expr ast.Expr, lo, hi token.Pos) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := info.ObjectOf(e)
+			return obj != nil && lo <= obj.Pos() && obj.Pos() <= hi
+		default:
+			return false
+		}
+	}
+}
+
+// sortedAfter reports whether any later statement in the block passes
+// target to a sort.* or slices.Sort* call, directly or wrapped in one
+// conversion/constructor layer (sort.Sort(byScore(target))).
+func sortedAfter(info *types.Info, target string, rest []ast.Stmt) bool {
+	found := false
+	for _, stmt := range rest {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			path, _, ok := pkgFuncCall(info, call)
+			if !ok || (path != "sort" && path != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if types.ExprString(arg) == target {
+					found = true
+					return false
+				}
+				if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 &&
+					types.ExprString(inner.Args[0]) == target {
+					found = true
+					return false
+				}
+				if lit, ok := arg.(*ast.CompositeLit); ok && len(lit.Elts) == 1 &&
+					types.ExprString(lit.Elts[0]) == target {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+// Package serve is a ctxcancel fixture: its name places it on the
+// request path, so exported blocking entry points need a cancellation
+// hook they actually use.
+package serve
+
+import "context"
+
+func Blocked(c chan int) int {
+	return <-c // want `exported Blocked blocks \(channel receive\) but takes no context.Context or done channel`
+}
+
+func Unused(ctx context.Context, c chan int) int { // want `exported Unused blocks \(select\) but never uses its cancellation parameter ctx`
+	select {
+	case v := <-c:
+		return v
+	}
+}
+
+// WithCtx passes: it blocks but honors ctx.
+func WithCtx(ctx context.Context, c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Drain passes: a receive-only done channel is an accepted hook.
+func Drain(done <-chan struct{}, c chan int) {
+	for {
+		select {
+		case <-c:
+		case <-done:
+			return
+		}
+	}
+}
+
+// NonBlocking passes: no syntactic blocking operation, no hook needed.
+func NonBlocking(x int) int {
+	return x + 1
+}
+
+// helper passes: unexported functions are not entry points.
+func helper(c chan int) int {
+	return <-c
+}
+
+func Suppressed(c chan int) int {
+	//ermvet:ignore ctxcancel fixture exercising the suppression path
+	return <-c
+}

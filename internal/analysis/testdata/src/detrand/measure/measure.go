@@ -1,0 +1,31 @@
+// Package measure is a detrand fixture: its name places it in the
+// determinism-critical set, so global draws and wall-clock reads fire.
+package measure
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `call to global math/rand.Intn in determinism-critical package measure`
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock read time.Now in determinism-critical package measure`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time.Since`
+}
+
+// seeded is the approved path: constructors build an explicit generator.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func suppressed() time.Time {
+	//ermvet:ignore detrand fixture exercising the suppression path
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+// Package other is a detrand fixture: not determinism-critical, so the
+// same calls that fire in package measure pass here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func anything() (int, time.Time) {
+	return rand.Intn(10), time.Now()
+}

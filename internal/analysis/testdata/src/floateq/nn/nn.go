@@ -1,0 +1,31 @@
+// Package nn is a floateq fixture: its name places it in the numeric
+// set, so exact float comparisons fire.
+package nn
+
+func approxBroken(a, b float64) bool {
+	return a == b // want `float equality a == b`
+}
+
+func notEqual(a float64, b float32) bool {
+	return float64(b) != a // want `float equality float64\(b\) != a`
+}
+
+// sentinel passes: comparison against the exact-zero constant is the
+// repo's "unset / skip zero entry" idiom and float zero is exact.
+func sentinel(x float64) bool {
+	return x == 0
+}
+
+func sentinelFlipped(x float64) bool {
+	return 0.0 != x
+}
+
+// ints passes: integer equality is exact.
+func ints(a, b int) bool {
+	return a == b
+}
+
+func suppressed(a, b float64) bool {
+	//ermvet:ignore floateq fixture exercising the suppression path
+	return a != b
+}

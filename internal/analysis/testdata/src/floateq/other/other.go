@@ -1,0 +1,7 @@
+// Package other is a floateq fixture: not a numeric package, so exact
+// float comparisons pass here.
+package other
+
+func equal(a, b float64) bool {
+	return a == b
+}

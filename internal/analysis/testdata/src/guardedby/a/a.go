@@ -1,0 +1,62 @@
+// Package a is a guardedby fixture.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// inc locks and passes.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// readLocked locks an RWMutex-free Mutex via plain Lock and passes.
+func (c *counter) readLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want `c.n accessed without locking c.mu in racyRead`
+}
+
+// wrongInstance locks one counter but reads another.
+func wrongInstance(a, b *counter) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.n // want `b.n accessed without locking b.mu in wrongInstance`
+}
+
+func (c *counter) suppressedRead() int {
+	//ermvet:ignore guardedby fixture exercising the suppression path
+	return c.n
+}
+
+type rwState struct {
+	mu sync.RWMutex
+	v  string // guarded by mu
+}
+
+// render read-locks and passes.
+func (s *rwState) render() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.v
+}
+
+type badGuard struct {
+	lock int
+	v    int // guarded by lock // want `field badGuard.v is annotated "guarded by lock", but badGuard.lock is int, not a sync.Mutex or sync.RWMutex`
+}
+
+type noSuchMutex struct {
+	v int // guarded by missing // want `field noSuchMutex.v is annotated "guarded by missing", but noSuchMutex has no field missing`
+}
+
+func use(b *badGuard, n *noSuchMutex) int { return b.v + b.lock + n.v }

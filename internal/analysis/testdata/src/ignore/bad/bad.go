@@ -1,0 +1,17 @@
+// Package bad holds malformed //ermvet:ignore directives; the exact
+// diagnostics for this package are pinned by TestMalformedIgnores.
+package bad
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//ermvet:ignore maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+//ermvet:ignore nosuchcheck because reasons
+func unused() []string {
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package a is a maporder fixture.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration appends to keys, which is never sorted afterwards`
+	}
+	return keys
+}
+
+// sorted is the canonical sort-after-range idiom and passes.
+func sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedWrapped passes too: one constructor layer around the slice.
+func sortedWrapped(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Sort(sort.StringSlice(keys))
+	return keys
+}
+
+func prints(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `emits output in random map order`
+	}
+}
+
+// perIteration passes: the slice is loop-local, so no cross-iteration
+// order escapes.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// overSlice passes: ranging a slice is deterministic.
+func overSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//ermvet:ignore maporder fixture exercising the suppression path
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,19 @@
+// Package clock injects wall-clock readings into determinism-critical
+// packages. The ermvet detrand check forbids direct time.Now/time.Since
+// calls in those packages (ROADMAP reproducibility: a mining run must be
+// a pure function of its inputs and seed), so timing stats flow through
+// a Clock value instead — production wires the system clock in, tests
+// and replay harnesses substitute a fixed one.
+package clock
+
+import "time"
+
+// Clock returns the current wall-clock time.
+type Clock func() time.Time
+
+// System reads the real wall clock.
+func System() Clock { return time.Now }
+
+// Fixed is pinned to t: durations measured through it are always zero,
+// which is exactly what reproducible-output tests want.
+func Fixed(t time.Time) Clock { return func() time.Time { return t } }

@@ -15,7 +15,7 @@ import "sync"
 // (sync.Once publication establishes the happens-before edge).
 type IndexCache struct {
 	mu      sync.Mutex
-	entries map[string]*cacheEntry
+	entries map[string]*cacheEntry // guarded by mu
 }
 
 type cacheEntry struct {

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"time"
 
+	"erminer/internal/clock"
 	"erminer/internal/core"
 	"erminer/internal/mdp"
 	"erminer/internal/nn"
@@ -41,6 +42,10 @@ type Config struct {
 	InferenceOnly bool
 	// Seed drives all randomness.
 	Seed int64
+	// Clock supplies the wall-clock readings behind Stats.TrainTime and
+	// Stats.InferTime. Nil means the system clock. Everything else in a
+	// run is a pure function of the problem and Seed.
+	Clock clock.Clock
 }
 
 func (c Config) trainSteps() int {
@@ -55,6 +60,13 @@ func (c Config) fineTuneSteps() int {
 		return c.FineTuneSteps
 	}
 	return 1000
+}
+
+func (c Config) clock() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.System()
 }
 
 func (c Config) inferenceMaxSteps() int {
@@ -157,7 +169,8 @@ func (m *Miner) run(p *core.Problem, prevNet *nn.MLP, prevDimIDs []string, steps
 	}
 
 	m.stats = Stats{}
-	start := time.Now()
+	now := m.cfg.clock()
+	start := now()
 	var lossSum float64
 	var lossN int
 
@@ -188,13 +201,13 @@ func (m *Miner) run(p *core.Problem, prevNet *nn.MLP, prevDimIDs []string, steps
 		m.stats.EpisodeRewards = append(m.stats.EpisodeRewards, episodeReward)
 	}
 	m.stats.TrainSteps = n
-	m.stats.TrainTime = time.Since(start)
+	m.stats.TrainTime = now().Sub(start)
 	if lossN > 0 {
 		m.stats.MeanLoss = lossSum / float64(lossN)
 	}
 
 	// Greedy inference episode (ε = 0).
-	inferStart := time.Now()
+	inferStart := now()
 	state, mask := env.Reset()
 	inferSteps := 0
 	for !env.Done() && inferSteps < m.cfg.inferenceMaxSteps() {
@@ -203,7 +216,7 @@ func (m *Miner) run(p *core.Problem, prevNet *nn.MLP, prevDimIDs []string, steps
 		state, mask = res.State, res.Mask
 		inferSteps++
 	}
-	m.stats.InferTime = time.Since(inferStart)
+	m.stats.InferTime = now().Sub(inferStart)
 	m.stats.InferenceSteps = inferSteps
 
 	found := env.AllFound()

@@ -1,0 +1,82 @@
+package rulesio
+
+import (
+	"fmt"
+	"testing"
+
+	"erminer/internal/core"
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+	"erminer/internal/schema"
+)
+
+// fuzzProblem builds a small fresh problem per iteration: Import interns
+// pattern values into the input dictionaries, so sharing one problem
+// across iterations would let corpus entries see each other's state.
+func fuzzProblem() *core.Problem {
+	pool := relation.NewPool()
+	in := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "C"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	ms := relation.NewSchema(
+		relation.Attribute{Name: "A", Domain: "a"},
+		relation.Attribute{Name: "Y", Domain: "y"},
+	)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	for i := 0; i < 8; i++ {
+		a := fmt.Sprintf("a%d", i%3)
+		c := fmt.Sprintf("c%d", i%2)
+		y := fmt.Sprintf("y%d", i%2)
+		input.AppendRow([]string{a, c, y})
+		master.AppendRow([]string{a, y})
+	}
+	return &core.Problem{
+		Input:            input,
+		Master:           master,
+		Match:            schema.AutoMatch(in, ms),
+		Y:                2,
+		Ym:               1,
+		SupportThreshold: 2,
+	}
+}
+
+// FuzzImportRules feeds Import arbitrary bytes. A parse that succeeds
+// must yield rules Export can serialise again — Import validated every
+// index, so a panic on either side is a bug, not bad input.
+func FuzzImportRules(f *testing.F) {
+	p := fuzzProblem()
+	seed, err := Export(p, []core.MinedRule{
+		{
+			Rule: rule.New(
+				[]rule.AttrPair{{Input: 0, Master: 0}},
+				2, 1,
+				[]rule.Condition{rule.NewCondition(0, []int32{p.Input.Dict(0).Code("a1")}, "A=a1")},
+			),
+			Measures: measure.Measures{Support: 3, Certainty: 0.75, Quality: 0.5, Utility: 1.5},
+		},
+	})
+	if err != nil {
+		f.Fatalf("seeding corpus from Export: %v", err)
+	}
+	f.Add(seed)
+	f.Add([]byte("[]"))
+	f.Add([]byte(`[{"lhs":[["A","A"]],"y":"Y","ym":"Y"}]`))
+	f.Add([]byte(`[{"lhs":[["nope","A"]],"y":"Y","ym":"Y"}]`))
+	f.Add([]byte(`[{"y":"Y","ym":"Y","pattern":[{"attr":"C","values":["new","","c0"],"negate":true,"label":"l"}]}]`))
+	f.Add([]byte(`{"not":"a list"}`))
+	f.Add([]byte(`[{"y":1}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := fuzzProblem()
+		rules, err := Import(p, data)
+		if err != nil {
+			return
+		}
+		if _, err := Export(p, rules); err != nil {
+			t.Fatalf("Export after successful Import failed: %v", err)
+		}
+	})
+}

@@ -102,8 +102,10 @@ func (s *Server) encodeBatch(tuples []map[string]string) (*relation.Relation, er
 // shared index cache, honouring the request deadline. The returned
 // evaluator has already had its stats folded into the server metrics.
 func (s *Server) runRules(ctx context.Context, rel *relation.Relation, rs *ruleSet) (*measure.Evaluator, repair.Result, error) {
-	ev := measure.NewSharedEvaluator(rel, s.p.Master, nil, s.p.IndexCache)
-	ev.Parallelism = s.p.Workers()
+	//ermvet:ignore guardedby evaluation reads immutable master codes and the thread-safe IndexCache only; dictionaries are untouched (decision 12)
+	p := s.p
+	ev := measure.NewSharedEvaluator(rel, p.Master, nil, p.IndexCache)
+	ev.Parallelism = p.Workers()
 	res, err := repair.ApplyContext(ctx, ev, rs.list)
 	s.metrics.indexBuilds.Add(int64(ev.Stats.IndexBuilds))
 	return ev, res, err

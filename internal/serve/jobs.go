@@ -48,20 +48,21 @@ type JobStatus struct {
 	ActivatedVersion int64 `json:"activated_version,omitempty"`
 }
 
-// job is the manager's internal record. mu guards every mutable field;
-// snapshots copy under the lock.
+// job is the manager's internal record. id and spec are immutable after
+// submit; mu guards every mutable field, and snapshots copy under the
+// lock.
 type job struct {
 	mu        sync.Mutex
 	id        string
 	spec      JobSpec
-	state     string
-	err       string
-	rules     int
-	explored  int
-	started   time.Time
-	finished  time.Time
-	activated int64
-	rulesJSON []byte // wire-format export of the mined rules
+	state     string    // guarded by mu
+	err       string    // guarded by mu
+	rules     int       // guarded by mu
+	explored  int       // guarded by mu
+	started   time.Time // guarded by mu
+	finished  time.Time // guarded by mu
+	activated int64     // guarded by mu
+	rulesJSON []byte    // guarded by mu; wire-format export of the mined rules
 }
 
 func (j *job) snapshot() JobStatus {
@@ -125,15 +126,15 @@ func (j *job) setCancelled() {
 // finish, still-queued jobs are cancelled.
 type jobManager struct {
 	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // insertion order for listing
+	jobs   map[string]*job // guarded by mu
+	order  []string        // guarded by mu; insertion order for listing
 	queue  chan *job
 	wg     sync.WaitGroup
-	nextID int
-	closed bool
+	nextID int  // guarded by mu
+	closed bool // guarded by mu
 
-	queued  int // jobs accepted but not yet started
-	running int
+	queued  int // guarded by mu; jobs accepted but not yet started
+	running int // guarded by mu
 }
 
 var errJobQueueFull = fmt.Errorf("job queue full")

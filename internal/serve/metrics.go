@@ -33,8 +33,8 @@ type metrics struct {
 	jobsFailed     atomic.Int64
 
 	latMu sync.Mutex
-	lat   [latencyWindow]float64 // milliseconds
-	latN  int64                  // total observations (ring write cursor = latN % window)
+	lat   [latencyWindow]float64 // guarded by latMu; milliseconds
+	latN  int64                  // guarded by latMu; total observations (ring write cursor = latN % window)
 }
 
 func newMetrics() *metrics {

@@ -125,6 +125,10 @@ type ruleSet struct {
 // Server is the rule-serving daemon. Build one with New, mount it as an
 // http.Handler, and stop it with Shutdown.
 type Server struct {
+	// p's value dictionaries (its relation pool) are guarded by dictMu:
+	// interning and rendering take the lock. Evaluation reads immutable
+	// codes only and is lock-free by design (decision 12) — the one
+	// accessor on that path carries a written ermvet suppression.
 	p   *core.Problem
 	cfg Config
 	mux *http.ServeMux
