@@ -104,4 +104,15 @@ func SaveModel(m *RLMiner, w io.Writer) error { return m.SaveModel(w) }
 // LoadModel reads a model persisted with SaveModel.
 func LoadModel(r io.Reader) (*SavedModel, error) { return rlminer.LoadModel(r) }
 
+// Checkpoint is a crash-safe snapshot of an in-flight RLMiner training
+// run, written periodically when RLMinerConfig.CheckpointPath is set.
+// Resuming from it with RLMiner.ResumeMine reproduces the uninterrupted
+// run bit-for-bit.
+type Checkpoint = rlminer.Checkpoint
+
+// ReadCheckpointFile loads a training checkpoint from disk.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	return rlminer.ReadCheckpointFile(path)
+}
+
 var _ core.Miner = (*rlminer.Miner)(nil)

@@ -18,6 +18,8 @@
 //	-import-rules rules.json    load rules instead of mining (mine-free repair)
 //	-save-model model.bin       persist the RLMiner value network
 //	-load-model model.bin       fine-tune a persisted model (RLMiner-ft)
+//	-checkpoint-dir dir         crash-safe RLMiner training checkpoints; an
+//	                            interrupted run auto-resumes bit-identically
 //
 // Methods: rlminer (default), enuminer, enuminerh3, ctane.
 //
@@ -30,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -58,6 +61,11 @@ type options struct {
 	saveModel  string
 	loadModel  string
 	explain    int
+
+	checkpointDir        string
+	checkpointEvery      time.Duration
+	checkpointEverySteps int
+	crashAtStep          int
 }
 
 func main() {
@@ -84,6 +92,10 @@ func main() {
 	flag.StringVar(&o.saveModel, "save-model", "", "persist the RLMiner value network to this file")
 	flag.StringVar(&o.loadModel, "load-model", "", "fine-tune a persisted RLMiner model from this file")
 	flag.IntVar(&o.explain, "explain", -1, "print the repair explanation for this tuple index")
+	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for crash-safe RLMiner training checkpoints; an interrupted run auto-resumes from it")
+	flag.DurationVar(&o.checkpointEvery, "checkpoint-every", 0, "wall-clock period between checkpoint writes (0 = 30s)")
+	flag.IntVar(&o.checkpointEverySteps, "checkpoint-every-steps", 0, "additionally checkpoint every N training steps (0 = off)")
+	flag.IntVar(&o.crashAtStep, "crash-at-step", 0, "exit(3) at this training step — fault injection for the checkpoint smoke test")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -170,8 +182,28 @@ func run(o options) (err error) {
 	start := time.Now()
 	switch name {
 	case "rlminer":
-		rlm = erminer.NewRLMiner(erminer.RLMinerConfig{TrainSteps: o.steps, Seed: o.seed})
-		if o.loadModel != "" {
+		cfg := erminer.RLMinerConfig{TrainSteps: o.steps, Seed: o.seed}
+		var ckPath string
+		if o.checkpointDir != "" {
+			if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {
+				return err
+			}
+			ckPath = filepath.Join(o.checkpointDir, "erminer.ckpt")
+			cfg.CheckpointPath = ckPath
+			cfg.CheckpointEvery = o.checkpointEvery
+			cfg.CheckpointEverySteps = o.checkpointEverySteps
+		}
+		if o.crashAtStep > 0 {
+			cfg.Progress = func(step, total int) {
+				if step == o.crashAtStep {
+					fmt.Fprintf(os.Stderr, "erminer: injected crash at training step %d/%d\n", step, total)
+					os.Exit(3)
+				}
+			}
+		}
+		rlm = erminer.NewRLMiner(cfg)
+		switch {
+		case o.loadModel != "":
 			saved, err := loadModelFile(o.loadModel)
 			if err != nil {
 				return err
@@ -180,11 +212,26 @@ func run(o options) (err error) {
 			if err != nil {
 				return err
 			}
-		} else {
+		case ckPath != "":
+			ck, ckErr := erminer.ReadCheckpointFile(ckPath)
+			if ckErr == nil {
+				fmt.Printf("resuming from checkpoint %s (%s, step %d/%d)\n",
+					ckPath, ck.Name(), ck.Step(), ck.TotalSteps())
+				res, err = rlm.ResumeMine(p, ck)
+			} else {
+				res, err = rlm.Mine(p)
+			}
+			if err != nil {
+				return err
+			}
+		default:
 			res, err = rlm.Mine(p)
 			if err != nil {
 				return err
 			}
+		}
+		if ckPath != "" {
+			os.Remove(ckPath) // the run completed; its checkpoint is obsolete
 		}
 	case "enuminer":
 		res, err = erminer.NewEnuMiner(erminer.EnuMinerConfig{}).Mine(p)

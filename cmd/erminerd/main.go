@@ -61,13 +61,15 @@ type options struct {
 	mine      string
 	steps     int
 
-	repairWorkers int
-	queueDepth    int
-	timeout       time.Duration
-	jobWorkers    int
-	jobQueue      int
-	maxBatch      int
-	drainTimeout  time.Duration
+	repairWorkers   int
+	queueDepth      int
+	timeout         time.Duration
+	jobWorkers      int
+	jobQueue        int
+	maxBatch        int
+	drainTimeout    time.Duration
+	checkpointDir   string
+	checkpointEvery time.Duration
 }
 
 func main() {
@@ -96,6 +98,8 @@ func main() {
 	flag.IntVar(&o.jobQueue, "job-queue", 16, "bounded mining-job queue; beyond it jobs get 429")
 	flag.IntVar(&o.maxBatch, "max-batch", 0, "max tuples per repair/validate call (0 = 10000)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "graceful-shutdown drain budget")
+	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for crash-safe rlminer job checkpoints; jobs interrupted by a crash resume on restart")
+	flag.DurationVar(&o.checkpointEvery, "checkpoint-every", 0, "wall-clock period between job checkpoint writes (0 = 30s)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -205,15 +209,24 @@ func run(o options) error {
 	}
 
 	srv, err := erminer.NewServer(p, rules, erminer.ServeConfig{
-		RepairWorkers:  o.repairWorkers,
-		QueueDepth:     o.queueDepth,
-		RequestTimeout: o.timeout,
-		JobWorkers:     o.jobWorkers,
-		JobQueue:       o.jobQueue,
-		MaxBatch:       o.maxBatch,
+		RepairWorkers:   o.repairWorkers,
+		QueueDepth:      o.queueDepth,
+		RequestTimeout:  o.timeout,
+		JobWorkers:      o.jobWorkers,
+		JobQueue:        o.jobQueue,
+		MaxBatch:        o.maxBatch,
+		CheckpointDir:   o.checkpointDir,
+		CheckpointEvery: o.checkpointEvery,
 	})
 	if err != nil {
 		return err
+	}
+	if o.checkpointDir != "" {
+		for _, j := range srv.Jobs() {
+			if j.Resumed {
+				log.Printf("recovered interrupted job %s (method %s) from %s", j.ID, j.Spec.Method, o.checkpointDir)
+			}
+		}
 	}
 
 	httpSrv := &http.Server{Addr: o.addr, Handler: srv}

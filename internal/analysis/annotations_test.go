@@ -28,6 +28,8 @@ func TestGuardedByInventory(t *testing.T) {
 			"job.rulesJSON=mu",
 			"job.started=mu",
 			"job.state=mu",
+			"job.step=mu",
+			"job.total=mu",
 			"jobManager.closed=mu",
 			"jobManager.jobs=mu",
 			"jobManager.nextID=mu",

@@ -19,6 +19,7 @@ var detrandPkgs = map[string]bool{
 	"relation": true,
 	"cfd":      true,
 	"datagen":  true,
+	"detrand":  true,
 }
 
 // randConstructors are the math/rand calls that build an explicitly

@@ -1,0 +1,113 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("draw %d differs across identically seeded generators", i)
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestStateRoundTripMidStream(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 137; i++ {
+		r.Uint64()
+	}
+	st := r.State()
+	want := make([]uint64, 64)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	fresh := &RNG{}
+	if err := fresh.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := fresh.Uint64(); got != w {
+			t.Fatalf("restored draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSetStateRejectsZero(t *testing.T) {
+	r := New(1)
+	if err := r.SetState([4]uint64{}); err == nil {
+		t.Fatal("all-zero state accepted")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestIntnBoundsAndCoverage(t *testing.T) {
+	r := New(11)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) covered %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+// TestSource64Compatible seeds a math/rand.Rand from an RNG and checks
+// the shared state advances through the wrapper — the path network
+// initialisation takes.
+func TestSource64Compatible(t *testing.T) {
+	src := New(5)
+	wrapped := rand.New(src)
+	wrapped.Float64()
+	wrapped.NormFloat64()
+	// The wrapper drew from src, so a twin that replays the same draws
+	// directly diverges from a twin that does not.
+	twin := New(5)
+	if src.Uint64() == twin.Uint64() {
+		t.Error("wrapper did not draw from the underlying source")
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(3)
+	first := r.Uint64()
+	r.Uint64()
+	r.Seed(3)
+	if got := r.Uint64(); got != first {
+		t.Errorf("Seed did not reset the stream: %d vs %d", got, first)
+	}
+}

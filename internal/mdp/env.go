@@ -418,7 +418,10 @@ func (e *Env) growChild(parent *node, action int) float64 {
 			e.found[key] = mined
 			e.discovered++
 		}
-		e.allFound[childRule.Key()] = mined
+		// Keyed by the dimension-set key (bijective with the rule, since
+		// every dimension maps to one distinct refinement) so checkpoint
+		// state can reconstruct the rule from the key alone.
+		e.allFound[key] = mined
 	}
 
 	// Alg. 4 lines 14-17: only refinable nodes join the queue and are

@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Optimizer updates parameters from their accumulated gradients.
 type Optimizer interface {
@@ -75,6 +78,57 @@ func (a *Adam) Step(params []*Param) {
 	}
 }
 
+// AdamState is the optimiser's serialisable state, expressed relative
+// to an ordered parameter list: M[i] and V[i] are the first and second
+// moment vectors of params[i] (nil when the optimiser has not stepped
+// yet), and T is the bias-correction timestep. Together with the
+// parameter values themselves it makes an interrupted training run
+// resumable bit-identically — without it, a restored network would
+// restart Adam's moments at zero and diverge from the uninterrupted
+// run on the first step.
+type AdamState struct {
+	T    int
+	M, V [][]float64
+}
+
+// State exports the moment state of params, in order.
+func (a *Adam) State(params []*Param) AdamState {
+	st := AdamState{T: a.t, M: make([][]float64, len(params)), V: make([][]float64, len(params))}
+	for i, p := range params {
+		if m := a.m[p]; m != nil {
+			st.M[i] = append([]float64(nil), m...)
+			st.V[i] = append([]float64(nil), a.v[p]...)
+		}
+	}
+	return st
+}
+
+// SetState restores moment state captured with State onto params, which
+// must be the same tensors in the same order (same count and lengths).
+func (a *Adam) SetState(params []*Param, st AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: Adam state has %d/%d moment vectors, want %d",
+			len(st.M), len(st.V), len(params))
+	}
+	m := make(map[*Param][]float64, len(params))
+	v := make(map[*Param][]float64, len(params))
+	for i, p := range params {
+		if len(st.M[i]) == 0 && len(st.V[i]) == 0 {
+			continue // param not stepped yet: Step lazily zero-initialises
+		}
+		if len(st.M[i]) != len(p.Value.Data) || len(st.V[i]) != len(p.Value.Data) {
+			return fmt.Errorf("nn: Adam moment %d has %d/%d entries, param has %d",
+				i, len(st.M[i]), len(st.V[i]), len(p.Value.Data))
+		}
+		m[p] = append([]float64(nil), st.M[i]...)
+		v[p] = append([]float64(nil), st.V[i]...)
+	}
+	a.t = st.T
+	a.m = m
+	a.v = v
+	return nil
+}
+
 // HuberGrad returns the gradient of the Huber loss (δ = 1) of the
 // prediction error e = pred − target: e clipped to [-1, 1]. DQN uses it
 // to keep large Bellman errors from destabilising training.
@@ -86,6 +140,18 @@ func HuberGrad(e float64) float64 {
 		return -1
 	}
 	return e
+}
+
+// HuberLoss returns the Huber loss (δ = 1) whose gradient HuberGrad
+// computes: ½·e² in the quadratic region, |e| − ½ beyond it.
+func HuberLoss(e float64) float64 {
+	if e > 1 {
+		return e - 0.5
+	}
+	if e < -1 {
+		return -e - 0.5
+	}
+	return 0.5 * e * e
 }
 
 // MSEGrad returns the gradient of ½·e² — the raw error.

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"erminer/internal/detrand"
 	"erminer/internal/nn"
 )
 
@@ -34,8 +35,13 @@ type Replay struct {
 	n   int
 }
 
-// NewReplay returns a replay memory with the given capacity.
+// NewReplay returns a replay memory with the given capacity. It panics
+// if capacity is not positive: a zero-capacity ring buffer would divide
+// by zero on the first Add.
 func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		panic("rl: NewReplay capacity must be positive")
+	}
 	return &Replay{buf: make([]Transition, capacity), cap: capacity}
 }
 
@@ -52,7 +58,7 @@ func (r *Replay) Add(t Transition) {
 func (r *Replay) Len() int { return r.n }
 
 // Sample draws k transitions uniformly with replacement.
-func (r *Replay) Sample(rng *rand.Rand, k int) []Transition {
+func (r *Replay) Sample(rng *detrand.RNG, k int) []Transition {
 	out := make([]Transition, k)
 	for i := range out {
 		out[i] = r.buf[rng.Intn(r.n)]
@@ -134,23 +140,28 @@ type Agent struct {
 	opt      *nn.Adam
 	replay   *Replay
 	preplay  *PrioritizedReplay
-	rng      *rand.Rand
+	rng      *detrand.RNG
 	steps    int // observed transitions (drives ε)
 	optSteps int // optimisation steps (drives target sync)
 }
 
-// NewAgent builds an agent for the given state/action dimensions.
-func NewAgent(rng *rand.Rand, stateDim, actionDim int, cfg Config) *Agent {
+// NewAgent builds an agent for the given state/action dimensions. The
+// agent draws all its randomness from rng, whose state is exportable, so
+// SaveState captures the agent completely.
+func NewAgent(rng *detrand.RNG, stateDim, actionDim int, cfg Config) *Agent {
 	c := cfg.withDefaults()
 	sizes := append([]int{stateDim}, c.Hidden...)
 	sizes = append(sizes, actionDim)
-	return NewAgentFrom(rng, nn.NewMLP(rng, sizes...), cfg)
+	// Network initialisation draws through the stdlib wrapper from the
+	// same underlying state; it happens before any checkpoint, so the
+	// wrapper's internal buffering never leaks into a saved state.
+	return NewAgentFrom(rng, nn.NewMLP(rand.New(rng), sizes...), cfg)
 }
 
 // NewAgentFrom builds an agent around an existing value network (used by
 // RLMiner-ft to fine-tune a previously trained network). The exploration
 // schedule restarts at cfg's settings.
-func NewAgentFrom(rng *rand.Rand, net *nn.MLP, cfg Config) *Agent {
+func NewAgentFrom(rng *detrand.RNG, net *nn.MLP, cfg Config) *Agent {
 	c := cfg.withDefaults()
 	a := &Agent{
 		cfg:    c,
@@ -233,11 +244,14 @@ func (a *Agent) Observe(t Transition) {
 	a.steps++
 }
 
-// TrainStep samples a minibatch and performs one optimisation step,
-// returning the mean squared Bellman error (0 during warmup).
-func (a *Agent) TrainStep() float64 {
+// TrainStep samples a minibatch and performs one optimisation step. It
+// returns the mean Huber loss actually optimised and whether an
+// optimisation step happened at all — during warmup (replay smaller than
+// Warmup or BatchSize) it returns (0, false), which callers must not
+// confuse with a genuine zero-loss step.
+func (a *Agent) TrainStep() (loss float64, stepped bool) {
 	if a.replayLen() < a.cfg.Warmup || a.replayLen() < a.cfg.BatchSize {
-		return 0
+		return 0, false
 	}
 	var batch []Transition
 	var prioIdxs []int
@@ -299,12 +313,11 @@ func (a *Agent) TrainStep() float64 {
 	// non-zero only at the taken actions (Huber-clipped error).
 	q := a.online.Forward(states)
 	grad := nn.NewMatrix(q.Rows, q.Cols)
-	var loss float64
 	errs := make([]float64, len(batch))
 	for i, t := range batch {
 		e := q.At(i, t.Action) - targets[i]
 		errs[i] = e
-		loss += e * e
+		loss += nn.HuberLoss(e)
 		grad.Set(i, t.Action, nn.HuberGrad(e)/float64(len(batch)))
 	}
 	a.online.ZeroGrads()
@@ -318,5 +331,5 @@ func (a *Agent) TrainStep() float64 {
 	if a.optSteps%a.cfg.TargetSync == 0 {
 		a.target.CopyFrom(a.online)
 	}
-	return loss / float64(len(batch))
+	return loss / float64(len(batch)), true
 }

@@ -1,7 +1,7 @@
 package rl
 
 import (
-	"math/rand"
+	"erminer/internal/detrand"
 	"testing"
 )
 
@@ -17,7 +17,7 @@ func TestReplayRingBuffer(t *testing.T) {
 		t.Fatalf("Len = %d, want capacity 3", r.Len())
 	}
 	// The oldest transitions (0, 1) were evicted.
-	rng := rand.New(rand.NewSource(1))
+	rng := detrand.New(1)
 	for i := 0; i < 50; i++ {
 		for _, tr := range r.Sample(rng, 3) {
 			if tr.Reward < 2 {
@@ -28,7 +28,7 @@ func TestReplayRingBuffer(t *testing.T) {
 }
 
 func TestEpsilonSchedule(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := detrand.New(2)
 	a := NewAgent(rng, 2, 3, Config{EpsStart: 1.0, EpsEnd: 0.1, EpsDecaySteps: 100})
 	if got := a.Epsilon(); got != 1.0 {
 		t.Errorf("initial ε = %g", got)
@@ -49,7 +49,7 @@ func TestEpsilonSchedule(t *testing.T) {
 }
 
 func TestSelectActionRespectsMask(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := detrand.New(3)
 	a := NewAgent(rng, 2, 4, Config{})
 	state := []float64{0.5, -0.5}
 	mask := []bool{false, true, false, true}
@@ -65,7 +65,7 @@ func TestSelectActionRespectsMask(t *testing.T) {
 }
 
 func TestSelectActionNoValidPanics(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := detrand.New(4)
 	a := NewAgent(rng, 1, 2, Config{})
 	defer func() {
 		if recover() == nil {
@@ -76,18 +76,27 @@ func TestSelectActionNoValidPanics(t *testing.T) {
 }
 
 func TestTrainStepWarmup(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := detrand.New(5)
 	a := NewAgent(rng, 1, 2, Config{Warmup: 50, BatchSize: 8})
 	a.Observe(Transition{State: []float64{0}, Next: []float64{0}, NextMask: []bool{true, true}})
-	if loss := a.TrainStep(); loss != 0 {
-		t.Errorf("training before warmup returned loss %g", loss)
+	if loss, stepped := a.TrainStep(); stepped || loss != 0 {
+		t.Errorf("training before warmup returned (%g, %v), want (0, false)", loss, stepped)
 	}
+}
+
+func TestNewReplayZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReplay(0) did not panic")
+		}
+	}()
+	NewReplay(0)
 }
 
 // twoArmBandit is the simplest possible environment: one state, two
 // actions with rewards 0 and 1. The agent must learn Q(a1) > Q(a0).
 func TestDQNLearnsBandit(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := detrand.New(6)
 	a := NewAgent(rng, 1, 2, Config{
 		Warmup: 20, BatchSize: 8, TargetSync: 20,
 		Hidden: []int{8}, EpsDecaySteps: 200, Gamma: 0.9,
@@ -116,7 +125,7 @@ func TestDQNLearnsBandit(t *testing.T) {
 // terminates with 0 reward. Reaching the goal from s1 pays 1. The agent
 // must propagate value back to s0 through the Bellman backup.
 func TestDQNLearnsChain(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := detrand.New(7)
 	for _, double := range []bool{false, true} {
 		a := NewAgent(rng, 2, 2, Config{
 			Warmup: 30, BatchSize: 16, TargetSync: 25,
@@ -175,7 +184,7 @@ func equal(a, b []float64) bool {
 }
 
 func TestQValuesIsCopy(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := detrand.New(8)
 	a := NewAgent(rng, 1, 2, Config{})
 	q := a.QValues([]float64{1})
 	q[0] = 999
@@ -186,7 +195,7 @@ func TestQValuesIsCopy(t *testing.T) {
 }
 
 func TestNewAgentFromReusesNetwork(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := detrand.New(9)
 	a := NewAgent(rng, 2, 3, Config{})
 	b := NewAgentFrom(rng, a.Network(), Config{})
 	s := []float64{0.2, 0.8}

@@ -2,7 +2,8 @@ package rl
 
 import (
 	"math"
-	"math/rand"
+
+	"erminer/internal/detrand"
 )
 
 // PrioritizedReplay is proportional prioritized experience replay
@@ -21,8 +22,13 @@ type PrioritizedReplay struct {
 }
 
 // NewPrioritizedReplay returns a prioritized replay memory. alpha = 0
-// degrades to uniform sampling; the usual value is 0.6.
+// degrades to uniform sampling; the usual value is 0.6. It panics if
+// capacity is not positive, matching NewReplay rather than silently
+// rounding up to a one-slot buffer.
 func NewPrioritizedReplay(capacity int, alpha float64) *PrioritizedReplay {
+	if capacity <= 0 {
+		panic("rl: NewPrioritizedReplay capacity must be positive")
+	}
 	// Round capacity up to a power of two for a clean tree layout.
 	c := 1
 	for c < capacity {
@@ -64,7 +70,7 @@ func (p *PrioritizedReplay) setPriority(idx int, prio float64) {
 
 // Sample draws k transitions proportionally to priority, returning their
 // indices for later priority updates.
-func (p *PrioritizedReplay) Sample(rng *rand.Rand, k int) ([]Transition, []int) {
+func (p *PrioritizedReplay) Sample(rng *detrand.RNG, k int) ([]Transition, []int) {
 	out := make([]Transition, k)
 	idxs := make([]int, k)
 	total := p.tree[1]

@@ -1,9 +1,18 @@
 package rl
 
 import (
-	"math/rand"
+	"erminer/internal/detrand"
 	"testing"
 )
+
+func TestNewPrioritizedReplayZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPrioritizedReplay(0, α) did not panic")
+		}
+	}()
+	NewPrioritizedReplay(0, 0.6)
+}
 
 func TestPrioritizedReplayAddAndLen(t *testing.T) {
 	p := NewPrioritizedReplay(4, 0.6)
@@ -33,7 +42,7 @@ func TestPrioritizedReplaySamplesHighPriority(t *testing.T) {
 	errs[3] = 100
 	p.Update(idxs, errs)
 
-	rng := rand.New(rand.NewSource(1))
+	rng := detrand.New(1)
 	hits := 0
 	const draws = 2000
 	for i := 0; i < draws; i++ {
@@ -54,7 +63,7 @@ func TestPrioritizedReplayUniformAtAlphaZero(t *testing.T) {
 	}
 	idxs := []int{0}
 	p.Update(idxs, []float64{1e9}) // α = 0 flattens any priority to 1
-	rng := rand.New(rand.NewSource(2))
+	rng := detrand.New(2)
 	counts := make(map[float64]int)
 	for i := 0; i < 4000; i++ {
 		batch, _ := p.Sample(rng, 1)
@@ -72,7 +81,7 @@ func TestPrioritizedReplayIndicesValid(t *testing.T) {
 	for i := 0; i < 3; i++ {          // partially filled
 		p.Add(Transition{Reward: float64(i)})
 	}
-	rng := rand.New(rand.NewSource(3))
+	rng := detrand.New(3)
 	for i := 0; i < 100; i++ {
 		batch, idxs := p.Sample(rng, 4)
 		for j, idx := range idxs {
@@ -89,7 +98,7 @@ func TestPrioritizedReplayIndicesValid(t *testing.T) {
 // TestDQNWithPrioritizedReplayLearns: the bandit test again, through the
 // prioritized path.
 func TestDQNWithPrioritizedReplayLearns(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := detrand.New(4)
 	a := NewAgent(rng, 1, 2, Config{
 		Warmup: 20, BatchSize: 8, TargetSync: 20,
 		Hidden: []int{8}, EpsDecaySteps: 200, Gamma: 0.9,

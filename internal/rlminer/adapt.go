@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"erminer/internal/core"
+	"erminer/internal/detrand"
 	"erminer/internal/nn"
 )
 
@@ -24,7 +25,7 @@ func spaceDimIDs(s *core.Space) []string {
 // copied, and genuinely new dimensions keep their fresh Xavier
 // initialisation. Hidden layers carry over unchanged — they are
 // dimension-agnostic feature extractors.
-func adaptNetwork(rng *rand.Rand, old *nn.MLP, oldIDs []string, newSpace *core.Space) *nn.MLP {
+func adaptNetwork(rng *detrand.RNG, old *nn.MLP, oldIDs []string, newSpace *core.Space) *nn.MLP {
 	if oldIDs == nil {
 		return old.Clone()
 	}
@@ -38,7 +39,7 @@ func adaptNetwork(rng *rand.Rand, old *nn.MLP, oldIDs []string, newSpace *core.S
 	newSizes := append([]int(nil), sizes...)
 	newSizes[0] = newIn
 	newSizes[len(newSizes)-1] = newIn + 1 // actions = dims + stop
-	fresh := nn.NewMLP(rng, newSizes...)
+	fresh := nn.NewMLP(rand.New(rng), newSizes...)
 
 	// Map new dimension index -> old dimension index.
 	oldByID := make(map[string]int, oldIn)

@@ -1,0 +1,186 @@
+package rlminer
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"erminer/internal/mdp"
+	"erminer/internal/rl"
+)
+
+// Checkpoint is the crash-safe snapshot of an in-flight RLMiner run:
+// the complete agent state (networks, optimiser moments, replay buffer,
+// RNG, counters), the environment state (rule tree, reward cache,
+// cross-episode discoveries, evaluator stats), the step position, and
+// the partial Stats accumulated so far. Resuming from it with
+// Miner.ResumeMine reproduces the uninterrupted run bit-for-bit.
+type Checkpoint struct {
+	name           string
+	seed           int64
+	dimIDs         []string
+	step           int
+	totalSteps     int
+	episodes       int
+	episodeRewards []float64
+	episodeReward  float64 // partial reward of the in-flight episode
+	inEpisode      bool
+	lossSum        float64
+	lossN          int
+	trainTime      time.Duration
+	agentState     []byte
+	envState       []byte
+}
+
+// Name returns the miner variant that wrote the checkpoint ("RLMiner"
+// or "RLMiner-ft").
+func (c *Checkpoint) Name() string { return c.name }
+
+// Step returns the training step the checkpoint was taken at.
+func (c *Checkpoint) Step() int { return c.step }
+
+// TotalSteps returns the run's full training budget.
+func (c *Checkpoint) TotalSteps() int { return c.totalSteps }
+
+// checkpointWire is the gob format.
+type checkpointWire struct {
+	Name           string
+	Seed           int64
+	DimIDs         []string
+	Step           int
+	TotalSteps     int
+	Episodes       int
+	EpisodeRewards []float64
+	EpisodeReward  float64
+	InEpisode      bool
+	LossSum        float64
+	LossN          int
+	TrainTime      time.Duration
+	AgentState     []byte
+	EnvState       []byte
+}
+
+// checkpoint captures the run's current state as a Checkpoint.
+func (m *Miner) checkpoint(env *mdp.Env, agent *rl.Agent, step, total int,
+	episodeReward float64, inEpisode bool, lossSum float64, lossN int,
+	trainTime time.Duration) (*Checkpoint, error) {
+	agentState, err := agent.SaveState()
+	if err != nil {
+		return nil, err
+	}
+	envState, err := env.SaveState()
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		name:           m.name,
+		seed:           m.cfg.Seed,
+		dimIDs:         spaceDimIDs(env.Space()),
+		step:           step,
+		totalSteps:     total,
+		episodes:       m.stats.Episodes,
+		episodeRewards: append([]float64(nil), m.stats.EpisodeRewards...),
+		episodeReward:  episodeReward,
+		inEpisode:      inEpisode,
+		lossSum:        lossSum,
+		lossN:          lossN,
+		trainTime:      trainTime,
+		agentState:     agentState,
+		envState:       envState,
+	}, nil
+}
+
+// Save serialises the checkpoint.
+func (c *Checkpoint) Save(w io.Writer) error {
+	wire := checkpointWire{
+		Name:           c.name,
+		Seed:           c.seed,
+		DimIDs:         c.dimIDs,
+		Step:           c.step,
+		TotalSteps:     c.totalSteps,
+		Episodes:       c.episodes,
+		EpisodeRewards: c.episodeRewards,
+		EpisodeReward:  c.episodeReward,
+		InEpisode:      c.inEpisode,
+		LossSum:        c.lossSum,
+		LossN:          c.lossN,
+		TrainTime:      c.trainTime,
+		AgentState:     c.agentState,
+		EnvState:       c.envState,
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("rlminer: saving checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint saved with Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var wire checkpointWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("rlminer: loading checkpoint: %w", err)
+	}
+	if wire.Step < 0 || wire.TotalSteps <= 0 || wire.Step > wire.TotalSteps {
+		return nil, fmt.Errorf("rlminer: checkpoint step %d/%d out of range", wire.Step, wire.TotalSteps)
+	}
+	if len(wire.AgentState) == 0 || len(wire.EnvState) == 0 {
+		return nil, fmt.Errorf("rlminer: checkpoint missing agent or environment state")
+	}
+	return &Checkpoint{
+		name:           wire.Name,
+		seed:           wire.Seed,
+		dimIDs:         wire.DimIDs,
+		step:           wire.Step,
+		totalSteps:     wire.TotalSteps,
+		episodes:       wire.Episodes,
+		episodeRewards: wire.EpisodeRewards,
+		episodeReward:  wire.EpisodeReward,
+		inEpisode:      wire.InEpisode,
+		lossSum:        wire.LossSum,
+		lossN:          wire.LossN,
+		trainTime:      wire.TrainTime,
+		agentState:     wire.AgentState,
+		envState:       wire.EnvState,
+	}, nil
+}
+
+// WriteFile writes the checkpoint to path atomically: the bytes go to a
+// temp file in the same directory, are fsynced, and the file is renamed
+// over path. A crash mid-write leaves the previous checkpoint intact; a
+// reader never observes a partial file.
+func (c *Checkpoint) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("rlminer: creating checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("rlminer: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("rlminer: closing checkpoint temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("rlminer: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpointFile loads a checkpoint written with WriteFile.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rlminer: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}

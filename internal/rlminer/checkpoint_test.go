@@ -1,0 +1,262 @@
+package rlminer
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"testing"
+
+	"erminer/internal/clock"
+	"erminer/internal/core"
+	"erminer/internal/rl"
+)
+
+var fixedClock = clock.Fixed(time.Unix(1700000000, 0))
+
+// copyFileAtStep returns a Progress hook that snapshots the checkpoint
+// file one step after it was written (the write for step k happens
+// between the Progress calls for k and k+1).
+func copyFileAtStep(t *testing.T, src, dst string, k int) func(step, total int) {
+	t.Helper()
+	var once sync.Once
+	return func(step, total int) {
+		if step != k+1 {
+			return
+		}
+		once.Do(func() {
+			data, err := os.ReadFile(src)
+			if err != nil {
+				t.Errorf("checkpoint not on disk at step %d: %v", step, err)
+				return
+			}
+			if err := os.WriteFile(dst, data, 0o644); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func requireSameResults(t *testing.T, label string, a, b *core.ResultSet) {
+	t.Helper()
+	if a.Explored != b.Explored {
+		t.Errorf("%s: Explored %d vs %d", label, a.Explored, b.Explored)
+	}
+	if len(a.Rules) != len(b.Rules) {
+		t.Fatalf("%s: rule counts %d vs %d", label, len(a.Rules), len(b.Rules))
+	}
+	for i := range a.Rules {
+		ma, mb := a.Rules[i].Measures, b.Rules[i].Measures
+		if a.Rules[i].Rule.Key() != b.Rules[i].Rule.Key() ||
+			ma.Support != mb.Support || ma.Certainty != mb.Certainty ||
+			ma.Quality != mb.Quality || ma.Utility != mb.Utility {
+			t.Errorf("%s: rule %d differs", label, i)
+		}
+	}
+}
+
+func requireSameStats(t *testing.T, label string, a, b Stats) {
+	t.Helper()
+	if a.TrainSteps != b.TrainSteps || a.Episodes != b.Episodes ||
+		a.InferenceSteps != b.InferenceSteps || a.MeanLoss != b.MeanLoss ||
+		a.TrainTime != b.TrainTime || a.InferTime != b.InferTime {
+		t.Errorf("%s: stats differ:\nA: %+v\nB: %+v", label, a, b)
+	}
+	if len(a.EpisodeRewards) != len(b.EpisodeRewards) {
+		t.Fatalf("%s: learning curves have %d vs %d episodes", label, len(a.EpisodeRewards), len(b.EpisodeRewards))
+	}
+	for i := range a.EpisodeRewards {
+		if a.EpisodeRewards[i] != b.EpisodeRewards[i] {
+			t.Errorf("%s: episode reward %d: %g vs %g", label, i, a.EpisodeRewards[i], b.EpisodeRewards[i])
+		}
+	}
+}
+
+// TestCheckpointResumeBitIdentical is the tentpole guarantee: a run
+// killed at step k and resumed in a fresh Miner produces bit-identical
+// rules, measures, and Stats to the uninterrupted run — at several k,
+// across uniform replay, prioritized replay, and Double-DQN.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	agentCfgs := map[string]rl.Config{
+		"uniform":     {Warmup: 24, BatchSize: 8, TargetSync: 25, Hidden: []int{16}, ReplayCapacity: 256},
+		"prioritized": {Warmup: 24, BatchSize: 8, TargetSync: 25, Hidden: []int{16}, ReplayCapacity: 256, PrioritizedAlpha: 0.6},
+		"double":      {Warmup: 24, BatchSize: 8, TargetSync: 25, Hidden: []int{16}, ReplayCapacity: 256, DoubleDQN: true},
+	}
+	const steps = 220
+	for name, acfg := range agentCfgs {
+		t.Run(name, func(t *testing.T) {
+			base := Config{Agent: acfg, TrainSteps: steps, Seed: 31, Clock: fixedClock}
+			baseline := New(base)
+			want, err := baseline.Mine(covidProblem(t, 400, 31))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, k := range []int{40, 111, 200} {
+				dir := t.TempDir()
+				ckPath := filepath.Join(dir, "run.ckpt")
+				savedPath := filepath.Join(dir, "killed-at-k.ckpt")
+
+				cfg := base
+				cfg.CheckpointPath = ckPath
+				cfg.CheckpointEverySteps = k
+				cfg.Progress = copyFileAtStep(t, ckPath, savedPath, k)
+				// The checkpointing run itself must not be perturbed by the
+				// checkpoint writes.
+				ckRun := New(cfg)
+				got, err := ckRun.Mine(covidProblem(t, 400, 31))
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameResults(t, "checkpointing run", want, got)
+
+				ck, err := ReadCheckpointFile(savedPath)
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if ck.Step() != k || ck.TotalSteps() != steps || ck.Name() != "RLMiner" {
+					t.Fatalf("k=%d: checkpoint header %q %d/%d", k, ck.Name(), ck.Step(), ck.TotalSteps())
+				}
+
+				resumed := New(base)
+				res, err := resumed.ResumeMine(covidProblem(t, 400, 31), ck)
+				if err != nil {
+					t.Fatalf("k=%d: ResumeMine: %v", k, err)
+				}
+				requireSameResults(t, name, want, res)
+				requireSameStats(t, name, baseline.Stats(), resumed.Stats())
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeFineTuned is the RLMiner-ft leg of the guarantee:
+// kill/resume mid-fine-tune reproduces the uninterrupted fine-tune.
+func TestCheckpointResumeFineTuned(t *testing.T) {
+	scratch := New(Config{TrainSteps: 300, Seed: 41, Clock: fixedClock})
+	if _, err := scratch.Mine(covidProblem(t, 400, 41)); err != nil {
+		t.Fatal(err)
+	}
+
+	const ftSteps = 150
+	base := Config{FineTuneSteps: ftSteps, Seed: 42, Clock: fixedClock}
+	baseline := New(base)
+	want, err := baseline.MineFineTuned(covidProblem(t, 400, 41), scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{30, 77, 120} {
+		dir := t.TempDir()
+		ckPath := filepath.Join(dir, "ft.ckpt")
+		savedPath := filepath.Join(dir, "ft-killed.ckpt")
+
+		cfg := base
+		cfg.CheckpointPath = ckPath
+		cfg.CheckpointEverySteps = k
+		cfg.Progress = copyFileAtStep(t, ckPath, savedPath, k)
+		if _, err := New(cfg).MineFineTuned(covidProblem(t, 400, 41), scratch); err != nil {
+			t.Fatal(err)
+		}
+
+		ck, err := ReadCheckpointFile(savedPath)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if ck.Name() != "RLMiner-ft" {
+			t.Fatalf("k=%d: checkpoint name %q", k, ck.Name())
+		}
+
+		resumed := New(base)
+		res, err := resumed.ResumeMine(covidProblem(t, 400, 41), ck)
+		if err != nil {
+			t.Fatalf("k=%d: ResumeMine: %v", k, err)
+		}
+		if resumed.Name() != "RLMiner-ft" {
+			t.Errorf("k=%d: resumed miner name %q", k, resumed.Name())
+		}
+		requireSameResults(t, "ft", want, res)
+		requireSameStats(t, "ft", baseline.Stats(), resumed.Stats())
+	}
+}
+
+// TestCheckpointWallClockTrigger drives the periodic checkpointer with
+// an artificial advancing clock.
+func TestCheckpointWallClockTrigger(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "run.ckpt")
+	tick := 0
+	advancing := clock.Clock(func() time.Time {
+		tick++
+		return time.Unix(1700000000, 0).Add(time.Duration(tick) * time.Second)
+	})
+	m := New(Config{TrainSteps: 60, Seed: 51, Clock: advancing,
+		CheckpointPath: ckPath, CheckpointEvery: time.Second})
+	if _, err := m.Mine(covidProblem(t, 400, 51)); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ReadCheckpointFile(ckPath)
+	if err != nil {
+		t.Fatalf("periodic checkpointer never wrote: %v", err)
+	}
+	if ck.Step() <= 0 || ck.Step() >= 60 {
+		t.Errorf("checkpoint at step %d, want mid-run", ck.Step())
+	}
+}
+
+// TestTruncatedEpisodeNotCounted pins the learning-curve bugfix: a final
+// episode cut short by the step budget must not contribute a partial
+// reward to Stats.EpisodeRewards.
+func TestTruncatedEpisodeNotCounted(t *testing.T) {
+	p := covidProblem(t, 400, 61)
+	p.TopK = 50 // far more than 4 steps can discover: the episode cannot end
+	m := New(Config{TrainSteps: 4, Seed: 61, Clock: fixedClock})
+	if _, err := m.Mine(p); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.TrainSteps != 4 {
+		t.Errorf("TrainSteps = %d", st.TrainSteps)
+	}
+	if st.Episodes != 0 || len(st.EpisodeRewards) != 0 {
+		t.Errorf("truncated episode leaked into stats: Episodes=%d, rewards=%v",
+			st.Episodes, st.EpisodeRewards)
+	}
+}
+
+func TestReadCheckpointFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(path, []byte("definitely not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+	if _, err := ReadCheckpointFile(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}
+
+// TestResumeRejectsMismatchedSpace: resuming against a problem whose
+// refinement space differs from the checkpoint's must fail loudly, not
+// silently mis-train.
+func TestResumeRejectsMismatchedSpace(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "run.ckpt")
+	cfg := Config{TrainSteps: 80, Seed: 71, Clock: fixedClock,
+		CheckpointPath: ckPath, CheckpointEverySteps: 40}
+	if _, err := New(cfg).Mine(covidProblem(t, 400, 71)); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ReadCheckpointFile(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different generator seed yields different dictionaries, hence a
+	// different refinement space.
+	if _, err := New(Config{Seed: 71, Clock: fixedClock}).ResumeMine(covidProblem(t, 400, 99), ck); err == nil {
+		t.Error("mismatched space accepted")
+	}
+}

@@ -10,11 +10,12 @@
 package rlminer
 
 import (
-	"math/rand"
+	"fmt"
 	"time"
 
 	"erminer/internal/clock"
 	"erminer/internal/core"
+	"erminer/internal/detrand"
 	"erminer/internal/mdp"
 	"erminer/internal/nn"
 	"erminer/internal/rl"
@@ -43,9 +44,25 @@ type Config struct {
 	// Seed drives all randomness.
 	Seed int64
 	// Clock supplies the wall-clock readings behind Stats.TrainTime and
-	// Stats.InferTime. Nil means the system clock. Everything else in a
-	// run is a pure function of the problem and Seed.
+	// Stats.InferTime, and drives the periodic checkpointer. Nil means
+	// the system clock. Everything else in a run is a pure function of
+	// the problem and Seed.
 	Clock clock.Clock
+	// CheckpointPath, when non-empty, makes training write crash-safe
+	// checkpoints (atomic temp-file+rename) to this file. A run resumed
+	// from such a checkpoint with ResumeMine produces bit-identical
+	// results to the uninterrupted run.
+	CheckpointPath string
+	// CheckpointEvery is the wall-clock period between checkpoint writes,
+	// measured on Clock. Zero with CheckpointPath set (and no
+	// CheckpointEverySteps) means 30s.
+	CheckpointEvery time.Duration
+	// CheckpointEverySteps, when positive, additionally checkpoints every
+	// that many training steps — a deterministic trigger for tests and CI.
+	CheckpointEverySteps int
+	// Progress, when non-nil, is called after every completed training
+	// step with the cumulative step count and the total budget.
+	Progress func(step, total int)
 }
 
 func (c Config) trainSteps() int {
@@ -120,7 +137,22 @@ func (m *Miner) Stats() Stats { return m.stats }
 
 // Mine implements core.Miner: train from scratch, then infer.
 func (m *Miner) Mine(p *core.Problem) (*core.ResultSet, error) {
-	return m.run(p, nil, nil, m.cfg.trainSteps())
+	return m.run(p, nil, nil, m.cfg.trainSteps(), nil)
+}
+
+// ResumeMine continues an interrupted run from a checkpoint and carries
+// it through to the final result. The problem and Config must match the
+// ones the checkpointing run used; the refinement space is verified
+// dimension-by-dimension. The resumed run is bit-identical to one that
+// was never interrupted, except that evaluator index caches start cold
+// (Stats.Evaluations and the mined rules are unaffected; see
+// mdp.Env.SaveState).
+func (m *Miner) ResumeMine(p *core.Problem, ck *Checkpoint) (*core.ResultSet, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("rlminer: nil checkpoint")
+	}
+	m.name = ck.name
+	return m.run(p, nil, nil, ck.totalSteps, ck)
 }
 
 // MineFineTuned is RLMiner-ft: it transfers a previously trained network
@@ -130,85 +162,151 @@ func (m *Miner) Mine(p *core.Problem) (*core.ResultSet, error) {
 // refinement space.
 func (m *Miner) MineFineTuned(p *core.Problem, prev *Miner) (*core.ResultSet, error) {
 	m.name = "RLMiner-ft"
-	return m.run(p, prev.net, spaceDimIDs(prev.space), m.cfg.fineTuneSteps())
+	return m.run(p, prev.net, spaceDimIDs(prev.space), m.cfg.fineTuneSteps(), nil)
 }
 
 // MineFineTunedFromSaved is MineFineTuned for a model persisted with
 // SaveModel — e.g. fine-tuning in a later process on enriched data.
 func (m *Miner) MineFineTunedFromSaved(p *core.Problem, saved *SavedModel) (*core.ResultSet, error) {
 	m.name = "RLMiner-ft"
-	return m.run(p, saved.net, saved.dimIDs, m.cfg.fineTuneSteps())
+	return m.run(p, saved.net, saved.dimIDs, m.cfg.fineTuneSteps(), nil)
 }
 
-func (m *Miner) run(p *core.Problem, prevNet *nn.MLP, prevDimIDs []string, steps int) (*core.ResultSet, error) {
+func (m *Miner) run(p *core.Problem, prevNet *nn.MLP, prevDimIDs []string, steps int, ck *Checkpoint) (*core.ResultSet, error) {
 	env, err := mdp.NewEnv(p, m.cfg.Env)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(m.cfg.Seed))
-
-	agentCfg := m.cfg.Agent
-	if agentCfg.EpsDecaySteps == 0 {
-		agentCfg.EpsDecaySteps = steps * 6 / 10
-	}
-	if agentCfg.Hidden == nil {
-		// Two hidden layers of 64 units match the paper's quality at the
-		// problem's state widths while halving CPU training time.
-		agentCfg.Hidden = []int{64, 64}
-	}
-	var agent *rl.Agent
-	if prevNet != nil {
-		net := adaptNetwork(rng, prevNet, prevDimIDs, env.Space())
-		if agentCfg.EpsStart == 0 {
-			// Fine-tuning explores less: the policy is already good.
-			agentCfg.EpsStart = 0.2
-		}
-		agent = rl.NewAgentFrom(rng, net, agentCfg)
-	} else {
-		agent = rl.NewAgent(rng, env.StateDim(), env.ActionDim(), agentCfg)
-	}
 
 	m.stats = Stats{}
-	now := m.cfg.clock()
-	start := now()
+	var agent *rl.Agent
 	var lossSum float64
 	var lossN int
-
+	var prevTrainTime time.Duration
+	var state []float64
+	var mask []bool
 	n := 0
-	for n < steps {
-		state, mask := env.Reset()
-		episodeReward := 0.0
-		for !env.Done() && n < steps {
-			a := agent.SelectAction(state, mask, agent.Epsilon())
-			res := env.Step(a)
-			agent.Observe(rl.Transition{
-				State:    state,
-				Action:   a,
-				Reward:   res.Reward,
-				Next:     res.State,
-				NextMask: res.Mask,
-				Done:     res.Done,
-			})
-			if l := agent.TrainStep(); l > 0 {
-				lossSum += l
-				lossN++
-			}
-			state, mask = res.State, res.Mask
-			episodeReward += res.Reward
-			n++
+	episodeReward := 0.0
+	inEpisode := false
+
+	if ck != nil {
+		if !sameIDs(ck.dimIDs, spaceDimIDs(env.Space())) {
+			return nil, fmt.Errorf("rlminer: checkpoint refinement space does not match the problem's")
 		}
-		m.stats.Episodes++
-		m.stats.EpisodeRewards = append(m.stats.EpisodeRewards, episodeReward)
+		agent, err = rl.LoadAgentState(ck.agentState)
+		if err != nil {
+			return nil, err
+		}
+		if err := env.RestoreState(ck.envState); err != nil {
+			return nil, err
+		}
+		n = ck.step
+		m.stats.Episodes = ck.episodes
+		m.stats.EpisodeRewards = append([]float64(nil), ck.episodeRewards...)
+		episodeReward = ck.episodeReward
+		inEpisode = ck.inEpisode
+		lossSum, lossN = ck.lossSum, ck.lossN
+		prevTrainTime = ck.trainTime
+		if inEpisode {
+			state, mask = env.State(), env.Mask()
+		}
+	} else {
+		rng := detrand.New(m.cfg.Seed)
+		agentCfg := m.cfg.Agent
+		if agentCfg.EpsDecaySteps == 0 {
+			agentCfg.EpsDecaySteps = steps * 6 / 10
+		}
+		if agentCfg.Hidden == nil {
+			// Two hidden layers of 64 units match the paper's quality at the
+			// problem's state widths while halving CPU training time.
+			agentCfg.Hidden = []int{64, 64}
+		}
+		if prevNet != nil {
+			net := adaptNetwork(rng, prevNet, prevDimIDs, env.Space())
+			if agentCfg.EpsStart == 0 {
+				// Fine-tuning explores less: the policy is already good.
+				agentCfg.EpsStart = 0.2
+			}
+			agent = rl.NewAgentFrom(rng, net, agentCfg)
+		} else {
+			agent = rl.NewAgent(rng, env.StateDim(), env.ActionDim(), agentCfg)
+		}
 	}
+
+	now := m.cfg.clock()
+	start := now()
+	ckEvery := m.cfg.CheckpointEvery
+	if m.cfg.CheckpointPath != "" && ckEvery == 0 && m.cfg.CheckpointEverySteps == 0 {
+		ckEvery = 30 * time.Second
+	}
+	lastCk := start
+
+	// One iteration per training step: episode boundaries are handled
+	// inside the loop so the run can checkpoint at any step with fully
+	// consistent accounting (an episode is counted exactly when it ends).
+	for n < steps {
+		if !inEpisode {
+			state, mask = env.Reset()
+			episodeReward = 0
+			inEpisode = true
+		}
+		a := agent.SelectAction(state, mask, agent.Epsilon())
+		res := env.Step(a)
+		agent.Observe(rl.Transition{
+			State:    state,
+			Action:   a,
+			Reward:   res.Reward,
+			Next:     res.State,
+			NextMask: res.Mask,
+			Done:     res.Done,
+		})
+		if l, stepped := agent.TrainStep(); stepped {
+			lossSum += l
+			lossN++
+		}
+		state, mask = res.State, res.Mask
+		episodeReward += res.Reward
+		n++
+		if env.Done() {
+			inEpisode = false
+			m.stats.Episodes++
+			m.stats.EpisodeRewards = append(m.stats.EpisodeRewards, episodeReward)
+		}
+		if m.cfg.Progress != nil {
+			m.cfg.Progress(n, steps)
+		}
+		if m.cfg.CheckpointPath != "" && n < steps {
+			write := m.cfg.CheckpointEverySteps > 0 && n%m.cfg.CheckpointEverySteps == 0
+			if !write && ckEvery > 0 {
+				if t := now(); t.Sub(lastCk) >= ckEvery {
+					write = true
+				}
+			}
+			if write {
+				c, err := m.checkpoint(env, agent, n, steps, episodeReward, inEpisode,
+					lossSum, lossN, prevTrainTime+now().Sub(start))
+				if err != nil {
+					return nil, err
+				}
+				if err := c.WriteFile(m.cfg.CheckpointPath); err != nil {
+					return nil, err
+				}
+				lastCk = now()
+			}
+		}
+	}
+	// A final episode cut short by the step budget is NOT counted: its
+	// partial reward would corrupt the tail of the learning curve
+	// (Stats.EpisodeRewards is the paper's Fig. 12 input).
 	m.stats.TrainSteps = n
-	m.stats.TrainTime = now().Sub(start)
+	m.stats.TrainTime = prevTrainTime + now().Sub(start)
 	if lossN > 0 {
 		m.stats.MeanLoss = lossSum / float64(lossN)
 	}
 
 	// Greedy inference episode (ε = 0).
 	inferStart := now()
-	state, mask := env.Reset()
+	state, mask = env.Reset()
 	inferSteps := 0
 	for !env.Done() && inferSteps < m.cfg.inferenceMaxSteps() {
 		a := agent.SelectAction(state, mask, 0)

@@ -2,6 +2,8 @@ package rlminer
 
 import (
 	"math/rand"
+
+	"erminer/internal/detrand"
 	"testing"
 
 	"erminer/internal/core"
@@ -211,7 +213,7 @@ func TestAdaptNetworkPreservesMappedWeights(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(18))
 	old := nn.NewMLP(rng, oldSpace.Dim(), 8, oldSpace.Dim()+1)
-	adapted := adaptNetwork(rng, old, spaceDimIDs(oldSpace), newSpace)
+	adapted := adaptNetwork(detrand.New(19), old, spaceDimIDs(oldSpace), newSpace)
 
 	sizes := adapted.Sizes()
 	if sizes[0] != newSpace.Dim() || sizes[len(sizes)-1] != newSpace.Dim()+1 {
@@ -257,7 +259,7 @@ func TestAdaptNetworkIdenticalSpace(t *testing.T) {
 	space := core.BuildSpace(p, core.SpaceConfig{MinValueCount: p.SupportThreshold})
 	rng := rand.New(rand.NewSource(20))
 	old := nn.NewMLP(rng, space.Dim(), 4, space.Dim()+1)
-	adapted := adaptNetwork(rng, old, spaceDimIDs(space), space)
+	adapted := adaptNetwork(detrand.New(20), old, spaceDimIDs(space), space)
 	in := make([]float64, space.Dim())
 	in[0] = 1
 	a, b := old.Predict(in), adapted.Predict(in)
@@ -276,7 +278,7 @@ func TestAdaptNetworkIdenticalSpace(t *testing.T) {
 func TestAdaptNetworkNilSpace(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	old := nn.NewMLP(rng, 3, 4, 4)
-	if adaptNetwork(rng, old, nil, nil) == old {
+	if adaptNetwork(detrand.New(21), old, nil, nil) == old {
 		t.Error("nil-space adaptation returned the same instance")
 	}
 }

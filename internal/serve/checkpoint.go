@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"erminer/internal/core"
+	"erminer/internal/rlminer"
+)
+
+// jobManifest is the on-disk record (<ckBase>.spec.json in
+// Config.CheckpointDir) that lets a restarted daemon re-create an
+// rlminer job interrupted by process death. It is written when the job
+// starts and removed when the job reaches any terminal state, so a
+// manifest found at startup always denotes interrupted work.
+type jobManifest struct {
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+}
+
+// runRLMinerJob runs an rlminer job, wiring training progress into the
+// job's status. With Config.CheckpointDir set it also writes crash-safe
+// checkpoints: the spec manifest plus periodic training snapshots,
+// which recoverJobs turns back into a resumed job after a restart. Both
+// files are removed once the job reaches a terminal state — only a
+// process death leaves them behind.
+func (s *Server) runRLMinerJob(j *job, p *core.Problem) (*core.ResultSet, error) {
+	cfg := rlminer.Config{
+		TrainSteps: j.spec.Steps,
+		Seed:       j.spec.Seed,
+		Progress:   j.setProgress,
+	}
+	dir := s.cfg.CheckpointDir
+	if dir == "" {
+		return rlminer.New(cfg).Mine(p)
+	}
+
+	specPath := filepath.Join(dir, j.ckBase+".spec.json")
+	ckPath := filepath.Join(dir, j.ckBase+".ckpt")
+	man, err := json.Marshal(jobManifest{ID: j.id, Spec: j.spec})
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(specPath, man, 0o644); err != nil {
+		return nil, fmt.Errorf("serve: writing job manifest: %w", err)
+	}
+	// Any terminal state — success, failure, even a panic unwinding
+	// through the worker — retires the recovery files; a kill leaves
+	// them for the next startup.
+	defer os.Remove(specPath)
+	defer os.Remove(ckPath)
+
+	cfg.CheckpointPath = ckPath
+	cfg.CheckpointEvery = s.cfg.CheckpointEvery
+	if j.resumed {
+		if ck, rerr := rlminer.ReadCheckpointFile(ckPath); rerr == nil {
+			m := rlminer.New(cfg)
+			if res, rerr := m.ResumeMine(p, ck); rerr == nil {
+				return res, nil
+			}
+			// A corrupt or mismatched checkpoint falls back to a fresh
+			// run rather than failing the recovered job.
+		}
+	}
+	return rlminer.New(cfg).Mine(p)
+}
+
+// recoverJobs scans Config.CheckpointDir for manifests of rlminer jobs
+// a previous process left interrupted and resubmits them; each resumes
+// from its last checkpoint. Corrupt manifests are removed. Jobs that no
+// longer fit in the queue stay on disk for the next restart.
+func (s *Server) recoverJobs() error {
+	dir := s.cfg.CheckpointDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: creating checkpoint dir: %w", err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.spec.json"))
+	if err != nil {
+		return err
+	}
+	type recovered struct {
+		man  jobManifest
+		base string
+	}
+	maxID := 0
+	var recs []recovered
+	for _, path := range paths {
+		data, rerr := os.ReadFile(path)
+		var man jobManifest
+		if rerr != nil || json.Unmarshal(data, &man) != nil || man.ID == "" || man.Spec.Method != "rlminer" {
+			os.Remove(path) // unrecoverable: a fresh submit is the only path forward
+			continue
+		}
+		if n, ok := jobIDNum(man.ID); ok && n > maxID {
+			maxID = n
+		}
+		recs = append(recs, recovered{man: man, base: strings.TrimSuffix(filepath.Base(path), ".spec.json")})
+	}
+	// Reserve recovered IDs before any resubmission so fresh submissions
+	// can never collide with them.
+	s.jobs.reserveIDs(maxID)
+	for _, r := range recs {
+		if _, rerr := s.jobs.resubmit(r.man.ID, r.base, r.man.Spec); rerr != nil {
+			continue
+		}
+		s.metrics.jobsRecovered.Add(1)
+	}
+	return nil
+}
+
+// jobIDNum extracts n from the manager's "job-n" IDs.
+func jobIDNum(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}

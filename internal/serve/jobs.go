@@ -43,22 +43,33 @@ type JobStatus struct {
 	Rules      int     `json:"rules,omitempty"`
 	Explored   int     `json:"explored,omitempty"`
 	DurationMS int64   `json:"duration_ms,omitempty"`
+	// Step and TotalSteps report training progress for rlminer jobs
+	// (zero for other methods).
+	Step       int `json:"step,omitempty"`
+	TotalSteps int `json:"total_steps,omitempty"`
+	// Resumed marks a job recovered from an on-disk checkpoint after a
+	// daemon restart.
+	Resumed bool `json:"resumed,omitempty"`
 	// ActivatedVersion is the rule-set version this job installed, when
 	// Spec.Activate was set and the job succeeded.
 	ActivatedVersion int64 `json:"activated_version,omitempty"`
 }
 
-// job is the manager's internal record. id and spec are immutable after
-// submit; mu guards every mutable field, and snapshots copy under the
-// lock.
+// job is the manager's internal record. id, spec, ckBase and resumed
+// are immutable after submit; mu guards every mutable field, and
+// snapshots copy under the lock.
 type job struct {
 	mu        sync.Mutex
 	id        string
 	spec      JobSpec
+	ckBase    string    // base name of the job's checkpoint/manifest files
+	resumed   bool      // recovered from a checkpoint at daemon startup
 	state     string    // guarded by mu
 	err       string    // guarded by mu
 	rules     int       // guarded by mu
 	explored  int       // guarded by mu
+	step      int       // guarded by mu; rlminer training progress
+	total     int       // guarded by mu; rlminer training budget
 	started   time.Time // guarded by mu
 	finished  time.Time // guarded by mu
 	activated int64     // guarded by mu
@@ -75,6 +86,9 @@ func (j *job) snapshot() JobStatus {
 		Error:            j.err,
 		Rules:            j.rules,
 		Explored:         j.explored,
+		Step:             j.step,
+		TotalSteps:       j.total,
+		Resumed:          j.resumed,
 		ActivatedVersion: j.activated,
 	}
 	if !j.started.IsZero() {
@@ -117,6 +131,15 @@ func (j *job) setCancelled() {
 	j.mu.Lock()
 	j.state = JobCancelled
 	j.finished = time.Now()
+	j.mu.Unlock()
+}
+
+// setProgress records rlminer training progress; it has the
+// rlminer.Config.Progress signature.
+func (j *job) setProgress(step, total int) {
+	j.mu.Lock()
+	j.step = step
+	j.total = total
 	j.mu.Unlock()
 }
 
@@ -166,11 +189,24 @@ func (m *jobManager) worker(run func(*job)) {
 			j.setCancelled()
 			continue
 		}
-		run(j)
+		m.runOne(run, j)
 		m.mu.Lock()
 		m.running--
 		m.mu.Unlock()
 	}
+}
+
+// runOne is the worker's last line of defence: a run function that
+// panics must not kill the worker goroutine — that would shrink the
+// pool until the daemon silently stops executing jobs. The panic is
+// converted into a job failure and the worker keeps serving.
+func (m *jobManager) runOne(run func(*job), j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.setFailed(fmt.Errorf("job panicked: %v", r))
+		}
+	}()
+	run(j)
 }
 
 // submit enqueues a job, returning errJobQueueFull or errShuttingDown
@@ -182,7 +218,8 @@ func (m *jobManager) submit(spec JobSpec) (*job, error) {
 		return nil, errShuttingDown
 	}
 	m.nextID++
-	j := &job{id: fmt.Sprintf("job-%d", m.nextID), spec: spec, state: JobQueued}
+	id := fmt.Sprintf("job-%d", m.nextID)
+	j := &job{id: id, spec: spec, ckBase: id, state: JobQueued}
 	select {
 	case m.queue <- j:
 	default:
@@ -191,6 +228,41 @@ func (m *jobManager) submit(spec JobSpec) (*job, error) {
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	m.queued++
+	return j, nil
+}
+
+// reserveIDs raises the ID counter past n so freshly submitted jobs
+// never collide with IDs recovered from a previous process's
+// checkpoints.
+func (m *jobManager) reserveIDs(n int) {
+	m.mu.Lock()
+	if n > m.nextID {
+		m.nextID = n
+	}
+	m.mu.Unlock()
+}
+
+// resubmit enqueues a job recovered from an on-disk checkpoint after a
+// restart, keeping its original ID and checkpoint base name so a
+// further crash resumes from the same files.
+func (m *jobManager) resubmit(id, ckBase string, spec JobSpec) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errShuttingDown
+	}
+	if _, ok := m.jobs[id]; ok {
+		return nil, fmt.Errorf("job %s already exists", id)
+	}
+	j := &job{id: id, spec: spec, ckBase: ckBase, resumed: true, state: JobQueued}
+	select {
+	case m.queue <- j:
+	default:
+		return nil, errJobQueueFull
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
 	m.queued++
 	return j, nil
 }

@@ -31,6 +31,7 @@ type metrics struct {
 	ruleSwaps      atomic.Int64 // successful rule-set activations
 	jobsDone       atomic.Int64
 	jobsFailed     atomic.Int64
+	jobsRecovered  atomic.Int64 // jobs resumed from checkpoints at startup
 
 	latMu sync.Mutex
 	lat   [latencyWindow]float64 // guarded by latMu; milliseconds
@@ -91,6 +92,7 @@ func (m *metrics) write(w io.Writer, rulesActive int, rulesVersion int64, jobsQu
 	fmt.Fprintf(w, "erminerd_jobs_running %d\n", jobsRunning)
 	fmt.Fprintf(w, "erminerd_jobs_done_total %d\n", m.jobsDone.Load())
 	fmt.Fprintf(w, "erminerd_jobs_failed_total %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "erminerd_jobs_recovered_total %d\n", m.jobsRecovered.Load())
 	fmt.Fprintf(w, "erminerd_repair_latency_p50_ms %.3f\n", p50)
 	fmt.Fprintf(w, "erminerd_repair_latency_p99_ms %.3f\n", p99)
 }

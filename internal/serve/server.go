@@ -63,6 +63,13 @@ type Config struct {
 	MaxBatch int
 	// MaxBody bounds request bodies in bytes. Zero means 32 MiB.
 	MaxBody int64
+	// CheckpointDir, when non-empty, makes rlminer jobs write crash-safe
+	// training checkpoints (and a small spec manifest) there, and makes
+	// New resume jobs a previous process left interrupted.
+	CheckpointDir string
+	// CheckpointEvery is the wall-clock period between checkpoint
+	// writes. Zero means the rlminer default (30s).
+	CheckpointEvery time.Duration
 }
 
 func (c Config) repairWorkers() int {
@@ -179,8 +186,18 @@ func New(p *core.Problem, rules []core.MinedRule, cfg Config) (*Server, error) {
 	s.jobs = newJobManager(cfg.jobWorkers(), cfg.jobQueue(), s.runJob)
 	s.install(&ruleSet{version: s.version.Add(1), rules: rules, list: ruleList(rules)})
 	s.routes()
+	// Recovery runs last: recovered jobs start immediately, and one that
+	// finishes fast (and activates) must never race the initial install.
+	if cfg.CheckpointDir != "" {
+		if err := s.recoverJobs(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
+
+// Jobs returns a snapshot of every known job, in submission order.
+func (s *Server) Jobs() []JobStatus { return s.jobs.list() }
 
 func ruleList(rules []core.MinedRule) []*rule.Rule {
 	out := make([]*rule.Rule, len(rules))
@@ -259,22 +276,9 @@ func newMiner(spec JobSpec) (core.Miner, error) {
 	}
 }
 
-// runJob executes one mining job on an isolated problem copy. On
-// success the mined rules are exported to the wire format; when the job
-// asked for activation they are re-imported against the serving problem
-// and hot-swapped in — the exact path a PUT /v1/rules takes, so a job
-// cannot corrupt serving state in any way a client upload couldn't.
-func (s *Server) runJob(j *job) {
-	j.setRunning()
-	if s.holdJob != nil {
-		s.holdJob(j.id)
-	}
-	miner, err := newMiner(j.spec)
-	if err != nil {
-		j.setFailed(err)
-		s.metrics.jobsFailed.Add(1)
-		return
-	}
+// jobProblem prepares a job's isolated problem copy with its spec
+// overrides applied.
+func (s *Server) jobProblem(j *job) *core.Problem {
 	p := s.cloneProblem()
 	if j.spec.K > 0 {
 		p.TopK = j.spec.K
@@ -282,7 +286,41 @@ func (s *Server) runJob(j *job) {
 	if j.spec.Eta > 0 {
 		p.SupportThreshold = j.spec.Eta
 	}
-	res, err := miner.Mine(p)
+	return p
+}
+
+// runJob executes one mining job on an isolated problem copy. On
+// success the mined rules are exported to the wire format; when the job
+// asked for activation they are re-imported against the serving problem
+// and hot-swapped in — the exact path a PUT /v1/rules takes, so a job
+// cannot corrupt serving state in any way a client upload couldn't.
+func (s *Server) runJob(j *job) {
+	// A panicking miner must fail its job, not the daemon: this recover
+	// attributes the panic to the job and keeps the metrics honest (the
+	// worker pool carries its own last-resort recover behind it).
+	defer func() {
+		if r := recover(); r != nil {
+			j.setFailed(fmt.Errorf("job panicked: %v", r))
+			s.metrics.jobsFailed.Add(1)
+		}
+	}()
+	j.setRunning()
+	if s.holdJob != nil {
+		s.holdJob(j.id)
+	}
+	var p *core.Problem
+	var res *core.ResultSet
+	var err error
+	if j.spec.Method == "rlminer" {
+		p = s.jobProblem(j)
+		res, err = s.runRLMinerJob(j, p)
+	} else {
+		var miner core.Miner
+		if miner, err = newMiner(j.spec); err == nil {
+			p = s.jobProblem(j)
+			res, err = miner.Mine(p)
+		}
+	}
 	if err != nil {
 		j.setFailed(err)
 		s.metrics.jobsFailed.Add(1)

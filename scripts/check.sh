@@ -32,4 +32,39 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== checkpoint kill-resume smoke"
+# Kill an RLMiner run mid-training (injected exit 3), resume it from its
+# checkpoint, and require the exported rules to be byte-identical to an
+# uninterrupted run: the crash-safety contract, end to end through the
+# CLI.
+ckdir=$(mktemp -d)
+trap 'rm -rf "$ckdir"' EXIT
+go build -o "$ckdir/erminer-bin" ./cmd/erminer
+miner_flags="-dataset covid -method rlminer -input 400 -steps 200 -seed 3 -k 10 -repair=false"
+set +e
+"$ckdir/erminer-bin" $miner_flags \
+    -checkpoint-dir "$ckdir" -checkpoint-every-steps 50 -crash-at-step 120 \
+    -export-rules "$ckdir/ignored.json" >/dev/null
+status=$?
+set -e
+if [ "$status" -ne 3 ]; then
+    echo "smoke: injected crash expected exit 3, got $status" >&2
+    exit 1
+fi
+if [ ! -f "$ckdir/erminer.ckpt" ]; then
+    echo "smoke: killed run left no checkpoint behind" >&2
+    exit 1
+fi
+# Logged to a file, not piped: grep -q would close the pipe on first
+# match and SIGPIPE the miner mid-run.
+"$ckdir/erminer-bin" $miner_flags \
+    -checkpoint-dir "$ckdir" -export-rules "$ckdir/resumed.json" > "$ckdir/resume.log"
+grep -q "resuming from checkpoint" "$ckdir/resume.log"
+"$ckdir/erminer-bin" $miner_flags -export-rules "$ckdir/fresh.json" >/dev/null
+cmp "$ckdir/resumed.json" "$ckdir/fresh.json"
+if [ -f "$ckdir/erminer.ckpt" ]; then
+    echo "smoke: completed run did not remove its checkpoint" >&2
+    exit 1
+fi
+
 echo "check: OK"
