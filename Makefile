@@ -8,10 +8,11 @@
 check:
 	./scripts/check.sh
 
-# The ermvet pass alone: the five repo-specific determinism and
-# concurrency checks over every non-test package.
+# The ermvet pass alone: every repo-specific determinism, concurrency
+# and wire-format check over every non-test package, as newline-
+# delimited JSON (suppressed findings included, for the CI annotator).
 lint:
-	go run ./cmd/ermvet ./...
+	go run ./cmd/ermvet -checks all -json ./...
 
 # Short fuzz smoke over the two byte-parsing surfaces: the CSV ingestion
 # path and the rules JSON import. CI-friendly 5s per target; raise

@@ -231,7 +231,8 @@ func run(o options) (err error) {
 			}
 		}
 		if ckPath != "" {
-			os.Remove(ckPath) // the run completed; its checkpoint is obsolete
+			//ermvet:ignore errdrop best-effort cleanup; the run completed, its checkpoint is obsolete
+			os.Remove(ckPath)
 		}
 	case "enuminer":
 		res, err = erminer.NewEnuMiner(erminer.EnuMinerConfig{}).Mine(p)
@@ -257,6 +258,7 @@ func run(o options) (err error) {
 			return err
 		}
 		if err := erminer.SaveModel(rlm, f); err != nil {
+			//ermvet:ignore errdrop the save error is already being returned; close failure is secondary
 			f.Close()
 			return err
 		}
@@ -322,6 +324,7 @@ func loadModelFile(path string) (*erminer.SavedModel, error) {
 	if err != nil {
 		return nil, err
 	}
+	//ermvet:ignore errdrop read-only descriptor; closing cannot lose data
 	defer f.Close()
 	return erminer.LoadModel(f)
 }

@@ -9,11 +9,14 @@
 //	go run ./cmd/ermvet ./...
 //	go run ./cmd/ermvet ./internal/serve ./internal/measure
 //	go run ./cmd/ermvet -checks detrand,maporder ./...
+//	go run ./cmd/ermvet -checks all -json ./...
+//	go run ./cmd/ermvet -update-wire
 //	go run ./cmd/ermvet -list
 //
 // Patterns are module-root-relative directories; a trailing /... matches
 // the subtree. Exit status is 1 when any finding survives suppression,
-// 2 when the module itself fails to load or type-check.
+// 2 when the module itself fails to load or type-check (or a flag is
+// invalid).
 package main
 
 import (
@@ -28,9 +31,11 @@ import (
 
 func main() {
 	listChecks := flag.Bool("list", false, "list the checks and exit")
-	checkNames := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	checkNames := flag.String("checks", "", "comma-separated subset of checks to run, or \"all\" (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as newline-delimited JSON, including suppressed ones")
+	updateWire := flag.Bool("update-wire", false, "regenerate the golden wire-shape manifest and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ermvet [-list] [-checks name,...] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ermvet [-list] [-checks name,...] [-json] [-update-wire] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,6 +60,29 @@ func main() {
 		fail(err)
 	}
 
+	manifestPath := filepath.Join(root, filepath.FromSlash(analysis.WireManifestPath))
+	if *updateWire {
+		if err := regenerateWireManifest(manifestPath, pkgs); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ermvet: wrote %s\n", analysis.WireManifestPath)
+		return
+	}
+
+	// The golden manifest and the module call graph are shared context:
+	// wiredrift gates against the former, goroleak resolves spawned
+	// callees through the latter. A missing manifest is an error when
+	// wiredrift was selected — running the gate without its golden file
+	// would silently pass.
+	opts := &analysis.Options{Graph: analysis.BuildCallGraph(pkgs)}
+	if checksInclude(checks, "wiredrift") {
+		manifest, err := analysis.LoadWireManifest(manifestPath)
+		if err != nil {
+			fail(fmt.Errorf("%w (generate it with ermvet -update-wire)", err))
+		}
+		opts.Wire = manifest
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -69,9 +97,22 @@ func main() {
 		if !matchAny(patterns, filepath.ToSlash(rel)) {
 			continue
 		}
-		for _, d := range analysis.Run(pkg, checks) {
-			d.Pos.Filename = relTo(root, d.Pos.Filename)
-			fmt.Println(d)
+		diags := analysis.RunAll(pkg, checks, opts)
+		for i := range diags {
+			diags[i].Pos.Filename = relTo(root, diags[i].Pos.Filename)
+		}
+		if *jsonOut {
+			if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+				fail(err)
+			}
+		}
+		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
+			if !*jsonOut {
+				fmt.Println(d)
+			}
 			findings++
 		}
 	}
@@ -86,10 +127,39 @@ func fail(err error) {
 	os.Exit(2)
 }
 
-// selectChecks resolves the -checks flag; an empty flag selects every
-// check.
+// regenerateWireManifest rewrites the golden manifest from the live
+// shapes. An existing manifest constrains the update: a shape change
+// without a version bump is refused, so the manifest can never be
+// regenerated into silently blessing a format break.
+func regenerateWireManifest(path string, pkgs []*analysis.Package) error {
+	var old *analysis.WireManifest
+	if _, err := os.Stat(path); err == nil {
+		old, err = analysis.LoadWireManifest(path)
+		if err != nil {
+			return err
+		}
+	}
+	m, err := analysis.UpdateWireManifest(old, pkgs)
+	if err != nil {
+		return err
+	}
+	return m.WriteWireManifest(path)
+}
+
+func checksInclude(checks []*analysis.Check, name string) bool {
+	for _, c := range checks {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// selectChecks resolves the -checks flag; an empty flag or "all"
+// selects every check. An unknown name is an error that lists the
+// valid set, so a typo can never silently shrink the gate.
 func selectChecks(names string) ([]*analysis.Check, error) {
-	if names == "" {
+	if names == "" || names == "all" {
 		return analysis.AllChecks, nil
 	}
 	var checks []*analysis.Check
@@ -104,7 +174,11 @@ func selectChecks(names string) ([]*analysis.Check, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("unknown check %q (run ermvet -list)", name)
+			valid := make([]string, 0, len(analysis.AllChecks))
+			for _, c := range analysis.AllChecks {
+				valid = append(valid, c.Name)
+			}
+			return nil, fmt.Errorf("unknown check %q; valid checks: all, %s", name, strings.Join(valid, ", "))
 		}
 	}
 	return checks, nil

@@ -140,6 +140,7 @@ func readCSVRaw(path string) (header []string, rows [][]string, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	//ermvet:ignore errdrop read-only descriptor; closing cannot lose data
 	defer f.Close()
 	return readCSV(f)
 }

@@ -34,11 +34,16 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, resolved to a file position.
+// Diagnostic is one finding, resolved to a file position. Suppressed
+// marks findings silenced by a well-formed //ermvet:ignore directive;
+// Run drops them, RunAll keeps them (the -json CI feed reports
+// suppressions so a PR annotator can show the written-down decisions
+// alongside the live findings).
 type Diagnostic struct {
-	Check   string
-	Pos     token.Position
-	Message string
+	Check      string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -53,8 +58,32 @@ type Check struct {
 	Run func(*Pass)
 }
 
-// AllChecks is the full pass list, in reporting-name order.
-var AllChecks = []*Check{DetRand, MapOrder, GuardedBy, FloatEq, CtxCancel}
+// AllChecks is the full pass list, in reporting-name order. The first
+// five are the syntactic / function-granular v1 checks; lockflow,
+// goroleak, errdrop and wiredrift are the flow-sensitive v2 layer built
+// on the CFG and call graph (cfg.go, callgraph.go).
+var AllChecks = []*Check{CtxCancel, DetRand, ErrDrop, FloatEq, GoroLeak, GuardedBy, LockFlow, MapOrder, WireDrift}
+
+// Options carries the module-level context some checks need beyond the
+// single package a Pass hands them. A nil *Options behaves like the
+// zero value.
+type Options struct {
+	// Wire is the golden wire-shape manifest the wiredrift check gates
+	// against. When nil, wiredrift runs its structural rules only
+	// (marker on a non-struct, missing version constant) and skips the
+	// shape comparison.
+	Wire *WireManifest
+	// Graph is the module call graph goroleak resolves `go f()`
+	// spawns through. When nil, a per-package graph is built on demand.
+	Graph *CallGraph
+}
+
+func (o *Options) orZero() *Options {
+	if o == nil {
+		return &Options{}
+	}
+	return o
+}
 
 // knownCheck also admits the meta-check name used for malformed
 // directives, so an ignore can never target a check that does not exist.
@@ -71,6 +100,7 @@ func knownCheck(name string) bool {
 type Pass struct {
 	*Package
 	Check  string
+	Opts   *Options
 	report func(Diagnostic)
 }
 
@@ -88,26 +118,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // including one "ermvet" diagnostic per malformed directive, which is
 // itself unsuppressable — sorted by position.
 func Run(pkg *Package, checks []*Check) []Diagnostic {
+	return RunOpts(pkg, checks, nil)
+}
+
+// RunOpts is Run with module-level options.
+func RunOpts(pkg *Package, checks []*Check, opts *Options) []Diagnostic {
+	all := RunAll(pkg, checks, opts)
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// RunAll is RunOpts without the suppression filter: silenced findings
+// come back with Suppressed set instead of being dropped, so reporting
+// surfaces (ermvet -json) can show every decision the directives
+// encode. Malformed directives are still unsuppressable "ermvet"
+// findings. The result is sorted by position.
+func RunAll(pkg *Package, checks []*Check, opts *Options) []Diagnostic {
 	var diags []Diagnostic
 	for _, c := range checks {
 		pass := &Pass{
 			Package: pkg,
 			Check:   c.Name,
+			Opts:    opts.orZero(),
 			report:  func(d Diagnostic) { diags = append(diags, d) },
 		}
 		c.Run(pass)
 	}
 
 	ign, bad := ignoreDirectives(pkg)
-	kept := diags[:0]
-	for _, d := range diags {
+	for i, d := range diags {
 		if ign[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
 			ign[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}] {
-			continue
+			diags[i].Suppressed = true
 		}
-		kept = append(kept, d)
 	}
-	diags = append(kept, bad...)
+	diags = append(diags, bad...)
 
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

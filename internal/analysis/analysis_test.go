@@ -38,6 +38,11 @@ func TestChecks(t *testing.T) {
 		{"floateq/nn", analysis.FloatEq},
 		{"floateq/other", analysis.FloatEq},
 		{"ctxcancel/serve", analysis.CtxCancel},
+		{"lockflow/a", analysis.LockFlow},
+		{"goroleak/serve", analysis.GoroLeak},
+		{"goroleak/other", analysis.GoroLeak},
+		{"errdrop/a", analysis.ErrDrop},
+		{"wiredrift/a", analysis.WireDrift},
 	}
 	for _, tc := range cases {
 		t.Run(strings.ReplaceAll(tc.dir, "/", "_"), func(t *testing.T) {
@@ -129,17 +134,25 @@ func TestMalformedIgnores(t *testing.T) {
 // TestModuleClean re-runs the full pass over the module from inside the
 // test suite, so `go test ./...` — not only scripts/check.sh — fails
 // the moment a determinism or locking invariant regresses (for example,
-// deleting the sort after a map-range in an annotated package).
+// deleting the sort after a map-range in an annotated package). It runs
+// with the same module-level context the CLI uses: the golden wire
+// manifest and the cross-package call graph.
 func TestModuleClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module from source")
 	}
-	pkgs, err := analysis.LoadModule(filepath.Join("..", ".."))
+	root := filepath.Join("..", "..")
+	pkgs, err := analysis.LoadModule(root)
 	if err != nil {
 		t.Fatalf("LoadModule: %v", err)
 	}
+	manifest, err := analysis.LoadWireManifest(filepath.Join(root, filepath.FromSlash(analysis.WireManifestPath)))
+	if err != nil {
+		t.Fatalf("LoadWireManifest: %v", err)
+	}
+	opts := &analysis.Options{Wire: manifest, Graph: analysis.BuildCallGraph(pkgs)}
 	for _, pkg := range pkgs {
-		for _, d := range analysis.Run(pkg, analysis.AllChecks) {
+		for _, d := range analysis.RunOpts(pkg, analysis.AllChecks, opts) {
 			t.Errorf("%s", d)
 		}
 	}

@@ -1,0 +1,256 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"erminer/internal/analysis"
+)
+
+// buildCFG parses src (a file body without the package clause), finds
+// the function named fn and builds its CFG.
+func buildCFG(t *testing.T, src, fn string) *analysis.CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return analysis.BuildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("no function %q in source", fn)
+	return nil
+}
+
+// preds returns the predecessor blocks of blk.
+func preds(cfg *analysis.CFG, blk *analysis.CFGBlock) []*analysis.CFGBlock {
+	var out []*analysis.CFGBlock
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s == blk {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// returnBlocks returns the blocks terminated by a return statement.
+func returnBlocks(cfg *analysis.CFG) []*analysis.CFGBlock {
+	var out []*analysis.CFGBlock
+	for _, b := range cfg.Blocks {
+		if b.Return != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := buildCFG(t, `
+func f() int {
+	x := 1
+	x++
+	return x
+}`, "f")
+	if len(cfg.Blocks) != 2 {
+		t.Fatalf("got %d blocks, want 2 (entry + exit)", len(cfg.Blocks))
+	}
+	if cfg.Entry.Return == nil {
+		t.Error("entry block should end in the return")
+	}
+	if len(cfg.Entry.Succs) != 1 || cfg.Entry.Succs[0] != cfg.Exit {
+		t.Errorf("entry should edge only into exit, got %d succs", len(cfg.Entry.Succs))
+	}
+	if len(cfg.Entry.Nodes) != 3 {
+		t.Errorf("entry should hold 3 nodes (assign, incdec, return), got %d", len(cfg.Entry.Nodes))
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	cfg := buildCFG(t, `
+func f(b bool) int {
+	if b {
+		return 1
+	}
+	return 2
+}`, "f")
+	if len(cfg.Entry.Succs) != 2 {
+		t.Fatalf("if header should have 2 successors, got %d", len(cfg.Entry.Succs))
+	}
+	rets := returnBlocks(cfg)
+	if len(rets) != 2 {
+		t.Fatalf("want 2 return blocks, got %d", len(rets))
+	}
+	for _, r := range rets {
+		found := false
+		for _, s := range r.Succs {
+			if s == cfg.Exit {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("return block %d does not edge into exit", r.Index)
+		}
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	cfg := buildCFG(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}`, "f")
+	// The loop header is the entry's sole successor; it branches to the
+	// done block and the body, and the post block edges back to it.
+	if len(cfg.Entry.Succs) != 1 {
+		t.Fatalf("entry should edge only into the loop header, got %d succs", len(cfg.Entry.Succs))
+	}
+	header := cfg.Entry.Succs[0]
+	if len(header.Succs) != 2 {
+		t.Fatalf("loop header should have 2 successors (done, body), got %d", len(header.Succs))
+	}
+	if len(preds(cfg, header)) != 2 {
+		t.Errorf("loop header should have 2 predecessors (entry, post), got %d", len(preds(cfg, header)))
+	}
+	if len(preds(cfg, cfg.Exit)) != 1 {
+		t.Errorf("exit should be reached only from the done block, got %d preds", len(preds(cfg, cfg.Exit)))
+	}
+}
+
+func TestCFGInfiniteLoopWithBreak(t *testing.T) {
+	// for{} only falls through via the break; the done block's single
+	// predecessor is the body block containing it.
+	cfg := buildCFG(t, `
+func f() {
+	for {
+		break
+	}
+}`, "f")
+	if got := len(preds(cfg, cfg.Exit)); got != 1 {
+		t.Fatalf("exit should have exactly 1 predecessor (the break's done block), got %d", got)
+	}
+}
+
+func TestCFGInfiniteLoopNoBreak(t *testing.T) {
+	// for{} with no break never reaches the function exit.
+	cfg := buildCFG(t, `
+func f() {
+	for {
+		_ = 1
+	}
+}`, "f")
+	if got := len(preds(cfg, cfg.Exit)); got != 0 {
+		t.Fatalf("exit of a non-breaking for{} should be unreachable, got %d preds", got)
+	}
+}
+
+func TestCFGPanicEndsPath(t *testing.T) {
+	cfg := buildCFG(t, `
+func f() {
+	defer cleanup()
+	panic("boom")
+}`, "f")
+	if len(cfg.Defers) != 1 {
+		t.Fatalf("want 1 recorded defer, got %d", len(cfg.Defers))
+	}
+	if got := len(preds(cfg, cfg.Exit)); got != 0 {
+		t.Errorf("panic should end the path before the exit block, got %d preds", got)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := buildCFG(t, `
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x--
+	default:
+		x = 0
+	}
+	return x
+}`, "f")
+	// The header (entry) fans out to the three clause entries only — the
+	// default clause removes the header→join shortcut.
+	if got := len(cfg.Entry.Succs); got != 3 {
+		t.Fatalf("switch header should have 3 successors (one per clause), got %d", got)
+	}
+	rets := returnBlocks(cfg)
+	if len(rets) != 1 {
+		t.Fatalf("want exactly 1 return block (the join), got %d", len(rets))
+	}
+	// The join is fed by the fallthrough target and the default clause,
+	// but not by the fallthrough source (its body chains onward instead).
+	if got := len(preds(cfg, rets[0])); got != 2 {
+		t.Errorf("join should have 2 predecessors (case 2 via fallthrough chain, default), got %d", got)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg := buildCFG(t, `
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+	}
+	return 0
+}`, "f")
+	if got := len(cfg.Entry.Succs); got != 2 {
+		t.Fatalf("select should fan out to 2 comm clauses, got %d", got)
+	}
+	if got := len(returnBlocks(cfg)); got != 2 {
+		t.Errorf("want 2 return blocks (case a, final return), got %d", got)
+	}
+}
+
+func TestCFGBlocksWellFormed(t *testing.T) {
+	// Structural sanity on a function mixing most constructs: blocks are
+	// indexed by position, the exit is last and empty, and every edge
+	// stays inside the graph.
+	cfg := buildCFG(t, `
+func f(xs []int, m map[string]int) int {
+	total := 0
+	for i, x := range xs {
+		if x < 0 {
+			continue
+		}
+		total += i
+	}
+	for k := range m {
+		if k == "stop" {
+			break
+		}
+	}
+	switch {
+	case total > 10:
+		total = 10
+	}
+	return total
+}`, "f")
+	if cfg.Blocks[len(cfg.Blocks)-1] != cfg.Exit {
+		t.Error("exit block must be last in Blocks")
+	}
+	if len(cfg.Exit.Nodes) != 0 || len(cfg.Exit.Succs) != 0 {
+		t.Error("exit block must be empty with no successors")
+	}
+	for i, b := range cfg.Blocks {
+		if b.Index != i {
+			t.Errorf("block at position %d has Index %d", i, b.Index)
+		}
+		for _, s := range b.Succs {
+			if s.Index < 0 || s.Index >= len(cfg.Blocks) || cfg.Blocks[s.Index] != s {
+				t.Errorf("block %d has a successor outside the graph", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,484 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockFlow is the path-sensitive upgrade of guardedby: it runs a
+// lockset dataflow over each function's CFG and reports
+//
+//   - a guarded-field access on a path where the annotated mutex is not
+//     held (released too early, or never acquired on that branch) — in
+//     functions that do lock the mutex somewhere, so the purely
+//     function-granular "never locks at all" case stays guardedby's;
+//   - a lock still held on a return path (the classic missed unlock on
+//     an early error return);
+//   - a second Lock/RLock of a mutex already held on the path
+//     (self-deadlock);
+//   - copying a value whose type contains a sync.Mutex/RWMutex.
+//
+// Locks are identified by their receiver chain ("s.dictMu", "m.mu"), the
+// same syntactic identity guardedby uses; aliasing through assignment is
+// invisible, which under-reports but never invents a finding about code
+// that follows the repo's direct-receiver locking idiom.
+var LockFlow = &Check{
+	Name: "lockflow",
+	Doc:  "path-sensitive locking: no guarded access after Unlock, no lock held at return, no double-lock, no mutex copies",
+	Run:  runLockFlow,
+}
+
+// lockMode distinguishes write locks from read locks.
+type lockMode uint8
+
+const (
+	lockWrite lockMode = iota
+	lockRead
+)
+
+// lockset is one path's held locks: chain → mode. Locksets are small
+// (nesting two mutexes is already rare), so copying maps per event is
+// fine.
+type lockset map[string]lockMode
+
+func (ls lockset) clone() lockset {
+	c := make(lockset, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+// key is the canonical string form used to deduplicate locksets inside
+// a dataflow state.
+func (ls lockset) key() string {
+	chains := make([]string, 0, len(ls))
+	for c, m := range ls {
+		if m == lockRead {
+			c += ":R"
+		}
+		chains = append(chains, c)
+	}
+	sort.Strings(chains)
+	return strings.Join(chains, "|")
+}
+
+// lockState is the set of locksets live at a program point — one per
+// distinguishable path. maxLocksets bounds it; a function exceeding the
+// bound (pathological branching on lock operations) is skipped rather
+// than analysed imprecisely.
+type lockState map[string]lockset
+
+const maxLocksets = 64
+
+func (st lockState) add(ls lockset) bool {
+	k := ls.key()
+	if _, ok := st[k]; ok {
+		return false
+	}
+	st[k] = ls
+	return true
+}
+
+// lockEvent is one lock-relevant operation inside a CFG node.
+type lockEvent struct {
+	kind  int // 0 acquire, 1 release, 2 guarded access
+	chain string
+	mode  lockMode
+	// mu is the annotated mutex chain a guarded access requires.
+	mu    string
+	expr  string
+	pos   token.Pos
+	inDef bool // the event sits inside a defer statement
+}
+
+const (
+	evAcquire = iota
+	evRelease
+	evAccess
+)
+
+func runLockFlow(pass *Pass) {
+	guarded := guardedFields(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			analyzeLockFlow(pass, fn.Name.Name, fn.Body, guarded)
+			// Nested function literals are separate flow units: their
+			// lock operations do not leak into the enclosing frame, and
+			// their own return paths are checked independently.
+			forEachFuncLit(fn.Body, func(lit *ast.FuncLit) {
+				analyzeLockFlow(pass, fn.Name.Name+" (func literal)", lit.Body, guarded)
+			})
+		}
+		checkMutexCopies(pass, f)
+	}
+}
+
+// guardedFields resolves the package's "guarded by" annotations to
+// field objects, silently skipping the malformed ones (guardedby
+// reports those).
+func guardedFields(pass *Pass) map[*types.Var]string {
+	guarded := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		for _, ann := range GuardedByAnnotations(f) {
+			obj := pass.Types.Scope().Lookup(ann.Struct)
+			if obj == nil {
+				continue
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			var fieldVar, muVar *types.Var
+			for i := 0; i < st.NumFields(); i++ {
+				switch v := st.Field(i); v.Name() {
+				case ann.Field:
+					fieldVar = v
+				case ann.Mutex:
+					muVar = v
+				}
+			}
+			if fieldVar != nil && muVar != nil && isMutex(muVar.Type()) {
+				guarded[fieldVar] = ann.Mutex
+			}
+		}
+	}
+	return guarded
+}
+
+// forEachFuncLit visits every function literal under body, including
+// literals nested in other literals.
+func forEachFuncLit(body *ast.BlockStmt, visit func(*ast.FuncLit)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			visit(lit)
+		}
+		return true
+	})
+}
+
+// analyzeLockFlow runs the lockset dataflow over one function body.
+func analyzeLockFlow(pass *Pass, fnName string, body *ast.BlockStmt, guarded map[*types.Var]string) {
+	cfg := BuildCFG(body)
+
+	// Per-block event lists, extracted once. A block with no events and
+	// no return still participates in propagation.
+	events := make([][]lockEvent, len(cfg.Blocks))
+	everAcquired := make(map[string]bool)
+	for i, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			events[i] = append(events[i], nodeLockEvents(pass, n, guarded)...)
+		}
+		for _, ev := range events[i] {
+			if ev.kind == evAcquire {
+				everAcquired[ev.chain] = true
+			}
+		}
+	}
+
+	// Deferred releases run at function exit on every path; treating
+	// them flow-insensitively (a conditional defer counts) only
+	// suppresses findings, never invents them.
+	deferred := make(map[string]bool)
+	for _, call := range cfg.Defers {
+		if chain, _, ok := lockCall(pass, call); ok {
+			deferred[chain] = true
+		}
+	}
+	// Deferred function literals that unlock (defer func() { mu.Unlock() }())
+	// count the same way.
+	for _, call := range cfg.Defers {
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					if chain, kind, ok := lockCall(pass, c); ok && kind == evRelease {
+						deferred[chain] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	seen := make(map[string]bool)
+	var findings []finding
+	reportOnce := func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		k := fmt.Sprint(int(pos)) + msg
+		if !seen[k] {
+			seen[k] = true
+			findings = append(findings, finding{pos, msg})
+		}
+	}
+
+	// checkReturn flags locks still held when a path leaves the
+	// function, net of deferred releases.
+	checkReturn := func(ls lockset, pos token.Pos) {
+		chains := make([]string, 0, len(ls))
+		for chain := range ls {
+			if !deferred[chain] {
+				chains = append(chains, chain)
+			}
+		}
+		sort.Strings(chains)
+		for _, chain := range chains {
+			reportOnce(pos, "%s is still locked when %s returns on this path; unlock before returning or defer the unlock", chain, fnName)
+		}
+	}
+
+	// apply runs one block's events over one incoming lockset, returning
+	// the outgoing lockset (or nil to abandon the path).
+	apply := func(blkIdx int, in lockset) lockset {
+		ls := in.clone()
+		for _, ev := range events[blkIdx] {
+			switch ev.kind {
+			case evAcquire:
+				if ev.inDef {
+					continue // a deferred Lock (if any) runs at exit; ignore
+				}
+				if held, ok := ls[ev.chain]; ok && !(held == lockRead && ev.mode == lockRead) {
+					reportOnce(ev.pos, "%s locked again in %s while already held on this path (self-deadlock)", ev.chain, fnName)
+				}
+				ls[ev.chain] = ev.mode
+			case evRelease:
+				if ev.inDef {
+					continue // deferred releases are handled at return
+				}
+				delete(ls, ev.chain)
+			case evAccess:
+				want := ev.chain
+				if _, held := ls[want]; !held && everAcquired[want] {
+					reportOnce(ev.pos, "%s accessed in %s on a path where %s is not held (released too early or never locked on this branch); field is annotated \"guarded by %s\"",
+						ev.expr, fnName, want, ev.mu)
+				}
+			}
+		}
+		blk := cfg.Blocks[blkIdx]
+		if blk.Return != nil {
+			checkReturn(ls, blk.Return.Pos())
+		}
+		return ls
+	}
+
+	// Worklist iteration to a fixpoint over the lockset-set lattice.
+	states := make([]lockState, len(cfg.Blocks))
+	for i := range states {
+		states[i] = make(lockState)
+	}
+	if !states[cfg.Entry.Index].add(lockset{}) {
+		return
+	}
+	work := []int{cfg.Entry.Index}
+	processed := make(map[string]bool) // blkIdx:locksetKey already applied
+	for len(work) > 0 {
+		idx := work[0]
+		work = work[1:]
+		blk := cfg.Blocks[idx]
+		for _, in := range orderedLocksets(states[idx]) {
+			pk := fmt.Sprintf("%d:%s", idx, in.key())
+			if processed[pk] {
+				continue
+			}
+			processed[pk] = true
+			out := apply(idx, in)
+			for _, succ := range blk.Succs {
+				if len(states[succ.Index]) >= maxLocksets {
+					return // bail: pathological state growth
+				}
+				if states[succ.Index].add(out) {
+					work = append(work, succ.Index)
+				}
+			}
+			// A block that falls off the end of the function body edges
+			// into Exit; its held locks are checked there via the edge,
+			// so check Exit in-states once they stabilise below.
+		}
+	}
+	// Explicit returns were checked at their ReturnStmt inside apply;
+	// fall-through exits (a path reaching the closing brace) are the
+	// blocks edging into Exit without a Return — re-walk their
+	// out-states and flag at the brace. reportOnce dedups the re-walk.
+	for idx, blk := range cfg.Blocks {
+		if blk == cfg.Exit || blk.Return != nil {
+			continue
+		}
+		exits := false
+		for _, s := range blk.Succs {
+			if s == cfg.Exit {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		for _, in := range orderedLocksets(states[idx]) {
+			checkReturn(apply(idx, in), body.Rbrace)
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		return findings[i].msg < findings[j].msg
+	})
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// orderedLocksets returns the state's locksets in deterministic order.
+func orderedLocksets(st lockState) []lockset {
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]lockset, len(keys))
+	for i, k := range keys {
+		out[i] = st[k]
+	}
+	return out
+}
+
+// nodeLockEvents extracts the lock-relevant events of one CFG node, in
+// source order, without descending into nested function literals.
+func nodeLockEvents(pass *Pass, node ast.Node, guarded map[*types.Var]string) []lockEvent {
+	var evs []lockEvent
+	inDefer := false
+	if _, ok := node.(*ast.DeferStmt); ok {
+		inDefer = true
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if chain, kind, ok := lockCall(pass, n); ok {
+				mode := lockWrite
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "RLock" {
+					mode = lockRead
+				}
+				evs = append(evs, lockEvent{kind: kind, chain: chain, mode: mode, pos: n.Pos(), inDef: inDefer})
+				return false // the receiver chain is not a guarded access
+			}
+		case *ast.SelectorExpr:
+			sel := pass.Info.Selections[n]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			mu, ok := guarded[field]
+			if !ok {
+				return true
+			}
+			evs = append(evs, lockEvent{
+				kind:  evAccess,
+				chain: types.ExprString(n.X) + "." + mu,
+				mu:    mu,
+				expr:  types.ExprString(n),
+				pos:   n.Sel.Pos(),
+				inDef: inDefer,
+			})
+		}
+		return true
+	})
+	return evs
+}
+
+// lockCall recognises <chain>.Lock/RLock/Unlock/RUnlock calls on a
+// sync.Mutex or sync.RWMutex, returning the chain and whether the call
+// acquires or releases.
+func lockCall(pass *Pass, call *ast.CallExpr) (chain string, kind int, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = evAcquire
+	case "Unlock", "RUnlock":
+		kind = evRelease
+	default:
+		return "", 0, false
+	}
+	tv, okT := pass.Info.Types[sel.X]
+	if !okT || !isMutex(tv.Type) {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), kind, true
+}
+
+// checkMutexCopies flags assignments and call arguments that copy a
+// value whose type transitively contains a sync.Mutex or sync.RWMutex
+// (pointers don't copy their pointee, so *T is always fine). Fresh
+// composite literals and address-taking are not copies of a live lock.
+func checkMutexCopies(pass *Pass, f *ast.File) {
+	flag := func(e ast.Expr, what string) {
+		switch ast.Unparen(e).(type) {
+		case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr, *ast.FuncLit, *ast.BasicLit:
+			return // a fresh value or an address, not a copy of a live lock
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if containsMutex(tv.Type, 0) {
+			pass.Reportf(e.Pos(), "%s copies %s, whose type %s contains a mutex; copy a pointer to it instead", what, types.ExprString(e), tv.Type)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				flag(rhs, "assignment")
+			}
+		case *ast.CallExpr:
+			if _, _, isLock := lockCall(pass, n); isLock {
+				return true
+			}
+			for _, arg := range n.Args {
+				flag(arg, "call argument")
+			}
+		}
+		return true
+	})
+}
+
+// containsMutex reports whether t transitively contains a sync.Mutex or
+// sync.RWMutex by value. A *sync.Mutex field is fine: copying the
+// pointer shares the lock rather than forking it.
+func containsMutex(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr && isMutex(t) {
+		return true
+	}
+	switch t := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsMutex(t.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(t.Elem(), depth+1)
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+// Package a is a callgraph fixture: top calls mid directly, mid calls
+// leaf through a method value on a concrete receiver, and iface calls
+// through an interface, which the conservative graph must NOT resolve.
+package a
+
+type doer struct{}
+
+func (doer) leaf() {}
+
+type doerIface interface{ leaf() }
+
+func top() {
+	mid()
+}
+
+func mid() {
+	var d doer
+	d.leaf()
+}
+
+func iface(d doerIface) {
+	d.leaf()
+}
+
+func island() {}

@@ -1,0 +1,62 @@
+// Package a is an errdrop fixture.
+package a
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func value() int { return 1 }
+
+func two() (int, error) { return 0, nil }
+
+// dropped discards the error as a bare statement.
+func dropped() {
+	mayFail() // want `call to mayFail drops its error result`
+}
+
+// deferredDrop is the classic lost Close on a write path.
+func deferredDrop(f *os.File) {
+	defer f.Close() // want `deferred call to f.Close drops its error result`
+}
+
+// blanked discards the error explicitly but without a reason.
+func blanked() {
+	_ = mayFail() // want `blank-assigned call to mayFail drops its error result`
+}
+
+// handled checks the error and passes.
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// exemptions: fmt's print family, the never-failing in-memory writers,
+// and calls with no error result are all admitted.
+func exemptions(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("hi")
+	fmt.Fprintf(os.Stderr, "x")
+	buf.WriteString("x")
+	sb.WriteString("x")
+	value()
+}
+
+// partial blanks only one result: the author visibly chose, so errdrop
+// stays quiet.
+func partial() int {
+	n, _ := two()
+	return n
+}
+
+// suppressed documents the drop.
+func suppressed() {
+	//ermvet:ignore errdrop fixture exercising the suppression path
+	mayFail()
+}

@@ -1,0 +1,11 @@
+// Package other is a goroleak fixture outside the check's package
+// scope: even a detached goroutine is not flagged here.
+package other
+
+func fireAndForget() {
+	go func() {
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}

@@ -1,0 +1,72 @@
+// Package serve is a goroleak fixture; its name puts it in the check's
+// scope.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// leak spawns a goroutine nothing can wait for or stop.
+func leak() {
+	go func() { // want `goroutine started here has no join or cancellation signal`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// joined is observable through the WaitGroup.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+type pool struct{ jobs chan int }
+
+// start spawns a named method; the worker body ranges over a channel,
+// so closing jobs stops it.
+func (p *pool) start() {
+	go p.worker()
+}
+
+func (p *pool) worker() {
+	for range p.jobs {
+	}
+}
+
+// watch is cancellable through the context.
+func watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// spawnHelper's literal has no signal of its own, but the helper it
+// statically calls closes the done channel — reachable through the
+// call graph.
+func spawnHelper() {
+	done := make(chan struct{})
+	go func() {
+		run(done)
+	}()
+	<-done
+}
+
+func run(done chan struct{}) {
+	close(done)
+}
+
+// suppressed documents a deliberately detached goroutine.
+func suppressed() {
+	//ermvet:ignore goroleak fixture exercising the suppression path
+	go func() {
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}

@@ -1,0 +1,19 @@
+// Package b is the wiredrift fixture for the shape-comparison rules;
+// wiredrift_test.go runs it against constructed manifests.
+package b
+
+// payload is the wire root; inner is module-local, so its shape is
+// expanded transitively into payload's hash.
+//
+//ermvet:wire
+type payload struct {
+	A int
+	B string
+	C inner
+}
+
+const payloadVersion = 2
+
+type inner struct {
+	X float64 `json:"x"`
+}

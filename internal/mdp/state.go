@@ -59,7 +59,14 @@ type nodeWire struct {
 	HasCover  bool
 }
 
+// envWireVersion numbers the environment gob format, including the
+// nested cache and node records; bump on any shape change (wiredrift
+// gates it).
+const envWireVersion = 1
+
 // envWire is the gob wire format of Env's mutable state.
+//
+//ermvet:wire
 type envWire struct {
 	RewardCache []cacheEntryWire
 	Nodes       []nodeWire // the episode's `seen` set, sorted by key

@@ -93,7 +93,13 @@ func (m *MLP) CopyFrom(other *MLP) {
 	}
 }
 
+// snapshotVersion numbers the MLP gob format; bump on any shape change
+// (wiredrift gates it).
+const snapshotVersion = 1
+
 // snapshot is the gob wire format of an MLP.
+//
+//ermvet:wire
 type snapshot struct {
 	Sizes  []int
 	Values [][]float64

@@ -86,10 +86,16 @@ func (a *Adam) Step(params []*Param) {
 // resumable bit-identically — without it, a restored network would
 // restart Adam's moments at zero and diverge from the uninterrupted
 // run on the first step.
+//
+//ermvet:wire
 type AdamState struct {
 	T    int
 	M, V [][]float64
 }
+
+// AdamStateVersion numbers the optimiser-state wire format (it rides
+// inside the agent gob); bump on any shape change (wiredrift gates it).
+const AdamStateVersion = 1
 
 // State exports the moment state of params, in order.
 func (a *Adam) State(params []*Param) AdamState {

@@ -43,6 +43,7 @@ func ReadCSVFile(path string, schema *Schema, pool *Pool) (*Relation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("relation: %w", err)
 	}
+	//ermvet:ignore errdrop read-only descriptor; closing cannot lose data
 	defer f.Close()
 	return ReadCSV(f, schema, pool)
 }
@@ -73,6 +74,7 @@ func (r *Relation) WriteCSVFile(path string) error {
 		return fmt.Errorf("relation: %w", err)
 	}
 	if err := r.WriteCSV(f); err != nil {
+		//ermvet:ignore errdrop the write error is already being returned; close failure is secondary
 		f.Close()
 		return err
 	}

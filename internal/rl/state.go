@@ -31,10 +31,17 @@ type savedPrioReplay struct {
 	Data     []Transition
 }
 
+// savedAgentVersion numbers the agent gob format, including everything
+// it embeds (Config, replay buffers, Adam moments); bump on any shape
+// change (wiredrift gates it).
+const savedAgentVersion = 1
+
 // savedAgent is the gob wire format of a DQN agent mid-training. Cfg is
 // the resolved configuration (defaults already applied), so loading does
 // not re-apply defaults — a caller who explicitly configured a value
 // that collides with a zero sentinel keeps it.
+//
+//ermvet:wire
 type savedAgent struct {
 	Cfg      Config
 	Online   []byte // nn.MLP.Save wire

@@ -45,7 +45,14 @@ func (c *Checkpoint) Step() int { return c.step }
 // TotalSteps returns the run's full training budget.
 func (c *Checkpoint) TotalSteps() int { return c.totalSteps }
 
+// checkpointWireVersion numbers the checkpoint gob format. Bump it on
+// any shape change so ermvet's wiredrift gate can tell a deliberate
+// format break from an accidental one.
+const checkpointWireVersion = 1
+
 // checkpointWire is the gob format.
+//
+//ermvet:wire
 type checkpointWire struct {
 	Name           string
 	Seed           int64
@@ -157,12 +164,15 @@ func (c *Checkpoint) WriteFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("rlminer: creating checkpoint temp file: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	//ermvet:ignore errdrop best-effort temp cleanup; after a successful rename the file is gone
+	defer os.Remove(tmp.Name())
 	if err := c.Save(tmp); err != nil {
+		//ermvet:ignore errdrop the save error is already being returned; close failure is secondary
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
+		//ermvet:ignore errdrop the sync error is already being returned; close failure is secondary
 		tmp.Close()
 		return fmt.Errorf("rlminer: syncing checkpoint: %w", err)
 	}
@@ -181,6 +191,7 @@ func ReadCheckpointFile(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rlminer: opening checkpoint: %w", err)
 	}
+	//ermvet:ignore errdrop read-only descriptor; closing cannot lose data
 	defer f.Close()
 	return LoadCheckpoint(f)
 }

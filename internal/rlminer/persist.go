@@ -18,7 +18,13 @@ type SavedModel struct {
 	dimIDs []string
 }
 
+// savedModelWireVersion numbers the saved-model gob format; bump on any
+// shape change (wiredrift gates it).
+const savedModelWireVersion = 1
+
 // savedModelWire is the gob format.
+//
+//ermvet:wire
 type savedModelWire struct {
 	Net    []byte
 	DimIDs []string

@@ -15,7 +15,13 @@ import (
 	"erminer/internal/rule"
 )
 
+// RuleJSONVersion numbers the portable rules JSON format (including the
+// nested CondJSON); bump on any shape change (wiredrift gates it).
+const RuleJSONVersion = 1
+
 // RuleJSON is the wire format of one editing rule.
+//
+//ermvet:wire
 type RuleJSON struct {
 	LHS     [][2]string `json:"lhs"` // [input attr, master attr] pairs
 	Y       string      `json:"y"`

@@ -51,7 +51,9 @@ func (s *Server) runRLMinerJob(j *job, p *core.Problem) (*core.ResultSet, error)
 	// Any terminal state — success, failure, even a panic unwinding
 	// through the worker — retires the recovery files; a kill leaves
 	// them for the next startup.
+	//ermvet:ignore errdrop best-effort retirement; a leftover file is re-scanned on next startup
 	defer os.Remove(specPath)
+	//ermvet:ignore errdrop best-effort retirement; a leftover file is re-scanned on next startup
 	defer os.Remove(ckPath)
 
 	cfg.CheckpointPath = ckPath
@@ -92,7 +94,8 @@ func (s *Server) recoverJobs() error {
 		data, rerr := os.ReadFile(path)
 		var man jobManifest
 		if rerr != nil || json.Unmarshal(data, &man) != nil || man.ID == "" || man.Spec.Method != "rlminer" {
-			os.Remove(path) // unrecoverable: a fresh submit is the only path forward
+			//ermvet:ignore errdrop best-effort removal of a corrupt manifest; a fresh submit is the only path forward
+			os.Remove(path)
 			continue
 		}
 		if n, ok := jobIDNum(man.ID); ok && n > maxID {

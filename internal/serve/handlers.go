@@ -32,12 +32,14 @@ func (s *Server) routes() {
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	//ermvet:ignore errdrop a failed response write means the client is gone; there is no one to tell
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	//ermvet:ignore errdrop a failed response write means the client is gone; there is no one to tell
 	json.NewEncoder(w).Encode(v)
 }
 
@@ -77,9 +79,9 @@ func (s *Server) encodeBatch(tuples []map[string]string) (*relation.Relation, er
 			tuples[i] = map[string]string{}
 		}
 	}
-	schema := s.p.Input.Schema()
 	s.dictMu.Lock()
 	defer s.dictMu.Unlock()
+	schema := s.p.Input.Schema()
 	rel := relation.New(schema, s.p.Input.Pool())
 	vals := make([]string, schema.Len())
 	for i, t := range tuples {
@@ -187,6 +189,10 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The read lock spans from the first s.p read through the dictionary
+	// lookups below: a concurrent encodeBatch grows the shared pool, so
+	// reading the problem outside the lock would race it.
+	s.dictMu.RLock()
 	y := s.p.Y
 	yName := s.p.Input.Schema().Attr(y).Name
 	oldCodes := make([]int32, rel.NumRows())
@@ -202,7 +208,6 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		Changed:      changed,
 		RulesVersion: rs.version,
 	}
-	s.dictMu.RLock()
 	for row := 0; row < rel.NumRows(); row++ {
 		if res.Pred[row] == relation.Null || rel.Code(row, y) == oldCodes[row] {
 			continue
@@ -297,10 +302,12 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// As in handleRepair: s.p and the dictionaries must be read under
+	// the same lock that encodeBatch writes them under.
+	s.dictMu.RLock()
 	y := s.p.Y
 	yName := s.p.Input.Schema().Attr(y).Name
 	resp := validateResponse{Results: make([]validationJSON, rel.NumRows()), RulesVersion: rs.version}
-	s.dictMu.RLock()
 	for row := 0; row < rel.NumRows(); row++ {
 		v := validationJSON{Row: row, Attr: yName, Got: rel.Value(row, y)}
 		switch cur := rel.Code(row, y); {
@@ -341,6 +348,7 @@ func (s *Server) handleRulesGet(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Rules-Version", fmt.Sprint(rs.version))
+	//ermvet:ignore errdrop a failed response write means the client is gone; there is no one to tell
 	w.Write(data)
 }
 

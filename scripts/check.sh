@@ -23,8 +23,8 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== ermvet ./..."
-go run ./cmd/ermvet ./...
+echo "== ermvet -checks all ./..."
+go run ./cmd/ermvet -checks all ./...
 
 echo "== go build ./..."
 go build ./...
