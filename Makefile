@@ -3,7 +3,7 @@
 # README "Static analysis") + build (all packages, including cmd/erminer
 # and cmd/erminerd) + race-enabled tests (see scripts/check.sh).
 
-.PHONY: check lint fuzz test bench build serve
+.PHONY: check lint fuzz test bench bench-baseline build serve
 
 check:
 	./scripts/check.sh
@@ -36,6 +36,13 @@ test:
 
 # The paper-artifact benchmarks plus the parallel-engine benchmarks
 # (BenchmarkEvaluateParallel / BenchmarkEnuMinerParallel report their
-# speedup over the serial path; baseline in BENCH_parallel.json).
+# speedup over the serial path; baseline in BENCH_parallel.json, marked
+# stale since the columnar engine landed — see BENCH_hotpath.json).
 bench:
 	go test -run XXX -bench . -benchmem .
+
+# Re-record the columnar hot-path baseline (BENCH_hotpath.json):
+# BenchmarkEvaluate/{columnar,scalar} and the serve-layer
+# BenchmarkRepairThroughput. See README "Performance".
+bench-baseline:
+	./scripts/bench.sh

@@ -96,15 +96,32 @@ func benchRule(p *core.Problem) *rule.Rule {
 }
 
 // BenchmarkEvaluate measures one full rule evaluation with a warm master
-// index (DESIGN.md decision 2: group-based measure evaluation).
+// index (DESIGN.md decision 2: group-based measure evaluation), on the
+// default columnar engine and the retained scalar reference path
+// (DESIGN.md decision 16). The columnar/warm case is the hot path of
+// both miners and the serving layer; with the cover buffer recycled it
+// must report 0 allocs/op — CI gates on it via TestEvaluateZeroAlloc
+// and scripts/bench.sh records it in BENCH_hotpath.json.
 func BenchmarkEvaluate(b *testing.B) {
 	p := benchProblem(b)
-	ev := p.NewEvaluator()
 	r := benchRule(p)
-	ev.Evaluate(r, nil) // warm the index
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ev.Evaluate(r, nil)
+	for _, mode := range []struct {
+		name   string
+		scalar bool
+	}{{"columnar", false}, {"scalar", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p.ScalarEval = mode.scalar
+			defer func() { p.ScalarEval = false }()
+			ev := p.NewEvaluator()
+			ms := ev.Evaluate(r, nil) // warm index, postings, projection
+			ev.ReleaseCover(ms.PatternCover)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ms := ev.Evaluate(r, nil)
+				ev.ReleaseCover(ms.PatternCover)
+			}
+		})
 	}
 }
 
@@ -113,6 +130,7 @@ func BenchmarkEvaluate(b *testing.B) {
 func BenchmarkEvaluateColdIndex(b *testing.B) {
 	p := benchProblem(b)
 	r := benchRule(p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := p.NewEvaluator()
@@ -135,13 +153,15 @@ func BenchmarkCoverIndex(b *testing.B) {
 	withGuard := parent.WithCondition(rule.Eq(ov, no))
 	guardCover := ev.Evaluate(rule.New(nil, p.Y, p.Ym, withGuard.Pattern), nil).PatternCover
 	b.Run("subspace", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			ev.Evaluate(withGuard, guardCover)
+			ev.ReleaseCover(ev.Evaluate(withGuard, guardCover).PatternCover)
 		}
 	})
 	b.Run("full-scan", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			ev.Evaluate(withGuard, nil)
+			ev.ReleaseCover(ev.Evaluate(withGuard, nil).PatternCover)
 		}
 	})
 }
@@ -325,8 +345,12 @@ func minNs(runs int, f func()) float64 {
 // BenchmarkEvaluateParallel measures a full-relation pattern scan (the
 // Evaluate parentCover == nil path) chunked across all CPUs on a large
 // input, reporting the speedup over the same scan at Parallelism 1.
-// The parallel and serial scans return bit-identical covers; the
-// recorded baseline lives in BENCH_parallel.json.
+// The chunked scan belongs to the retained scalar engine — the columnar
+// default replaces full scans with posting-list intersections — so the
+// benchmark pins ScalarEval. The parallel and serial scans return
+// bit-identical covers; the recorded baseline lives in
+// BENCH_parallel.json (marked stale: it predates the columnar engine
+// and was captured on a 1-core container).
 func BenchmarkEvaluateParallel(b *testing.B) {
 	ds, err := datagen.Covid().Build(datagen.DefaultSpec(40000, 1824, 1))
 	if err != nil {
@@ -335,6 +359,7 @@ func BenchmarkEvaluateParallel(b *testing.B) {
 	p := &core.Problem{
 		Input: ds.Input, Master: ds.Master, Match: ds.Match,
 		Y: ds.Y, Ym: ds.Ym, SupportThreshold: ds.SupportThreshold,
+		ScalarEval: true,
 	}
 	ov := p.Input.Schema().MustIndex("overseas")
 	no, ok := p.Input.Dict(ov).Lookup("No")

@@ -50,6 +50,7 @@ type options struct {
 	eta        int
 	steps      int
 	parallel   int
+	scalarEval bool
 	doRepair   bool
 	verbose    bool
 	inputCSV   string
@@ -80,6 +81,7 @@ func main() {
 	flag.IntVar(&o.eta, "eta", 0, "support threshold (0 = dataset default)")
 	flag.IntVar(&o.steps, "steps", 5000, "RLMiner training steps")
 	flag.IntVar(&o.parallel, "parallel", 0, "evaluation workers (0 = all CPUs, 1 = serial; results are identical at any setting)")
+	flag.BoolVar(&o.scalarEval, "scalar-eval", false, "force the retained row-at-a-time evaluation path (columnar engine off; results are identical)")
 	flag.BoolVar(&o.doRepair, "repair", true, "apply rules and report results")
 	flag.BoolVar(&o.verbose, "v", false, "print every discovered rule")
 	flag.StringVar(&o.inputCSV, "input-csv", "", "input CSV path (enables CSV mode)")
@@ -152,6 +154,7 @@ func run(o options) (err error) {
 	}
 	p.TopK = o.k
 	p.Parallelism = o.parallel
+	p.ScalarEval = o.scalarEval
 	// One shared master-index cache across mining, reward queries,
 	// repair and explanations: no component rebuilds another's indexes.
 	p.ShareIndexes()

@@ -44,6 +44,12 @@ func TestGuardedByInventory(t *testing.T) {
 		"../measure/cache.go": {
 			"IndexCache.entries=mu",
 		},
+		"../measure/posting.go": {
+			"ColumnIndex.all=mu",
+			"ColumnIndex.attrs=mu",
+			"ColumnIndex.groups=mu",
+			"ColumnIndex.version=mu",
+		},
 	}
 	for file, fields := range want {
 		fset := token.NewFileSet()

@@ -62,6 +62,34 @@ func overSlice(xs []string) []string {
 	return out
 }
 
+// postingFlattenUnsorted mirrors the measure.ColumnIndex posting-cache
+// shape — a map from value code to sorted row-id list — and flattens it
+// straight out of the map range. The concatenation order is random per
+// run, exactly the bug the columnar engine's sort-the-codes-first idiom
+// avoids.
+func postingFlattenUnsorted(postings map[int32][]int32) []int32 {
+	var rows []int32
+	for _, rs := range postings {
+		rows = append(rows, rs...) // want `map iteration appends to rows, which is never sorted afterwards`
+	}
+	return rows
+}
+
+// postingFlattenSorted is the approved shape: collect the codes, sort
+// with a total order, then emit the per-code lists in code order.
+func postingFlattenSorted(postings map[int32][]int32) []int32 {
+	codes := make([]int32, 0, len(postings))
+	for c := range postings {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	var rows []int32
+	for _, c := range codes {
+		rows = append(rows, postings[c]...)
+	}
+	return rows
+}
+
 func suppressed(m map[string]int) []string {
 	var keys []string
 	for k := range m {

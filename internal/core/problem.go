@@ -48,6 +48,16 @@ type Problem struct {
 	// for this problem, so mining, MDP reward queries and repair reuse
 	// the same built master indexes. See ShareIndexes.
 	IndexCache *measure.IndexCache
+	// Columns, when non-nil, is the shared columnar store (posting
+	// lists, group projections) over Input, borrowed by every evaluator
+	// built for this problem. See ShareIndexes. It must index the same
+	// relation as Input.
+	Columns *measure.ColumnIndex
+	// ScalarEval forces the retained row-at-a-time reference evaluation
+	// path on every evaluator built for this problem. The columnar
+	// default is bit-identical; the flag exists for the equivalence
+	// suites and as an operational escape hatch.
+	ScalarEval bool
 }
 
 // DefaultTopK is the paper's K = 50 (§V-A2).
@@ -94,21 +104,25 @@ func (p *Problem) Workers() int {
 	return runtime.NumCPU()
 }
 
-// ShareIndexes equips the problem with a shared master-index cache, so
-// every evaluator subsequently built from it — by the miners, the MDP
-// reward path and the repair engine — reuses the same built indexes
+// ShareIndexes equips the problem with a shared master-index cache and
+// a shared columnar store, so every evaluator subsequently built from
+// it — by the miners, the MDP reward path and the repair engine —
+// reuses the same built indexes, posting lists and group projections
 // instead of rebuilding them per component. Idempotent; returns p for
 // chaining.
 func (p *Problem) ShareIndexes() *Problem {
 	if p.IndexCache == nil {
 		p.IndexCache = measure.NewIndexCache()
 	}
+	if p.Columns == nil && p.Input != nil {
+		p.Columns = measure.NewColumnIndex(p.Input)
+	}
 	return p
 }
 
 // NewEvaluator builds the measure evaluator for the problem, borrowing
-// the shared index cache when one is set and inheriting the problem's
-// worker budget for full-relation scans.
+// the shared index cache and columnar store when set and inheriting the
+// problem's worker budget for full-relation scans.
 func (p *Problem) NewEvaluator() *measure.Evaluator {
 	var ev *measure.Evaluator
 	if p.IndexCache != nil {
@@ -116,7 +130,11 @@ func (p *Problem) NewEvaluator() *measure.Evaluator {
 	} else {
 		ev = measure.NewEvaluator(p.Input, p.Master, p.Truth)
 	}
+	if p.Columns != nil && p.Columns.Relation() == p.Input {
+		ev.ShareColumns(p.Columns)
+	}
 	ev.Parallelism = p.Workers()
+	ev.Scalar = p.ScalarEval
 	return ev
 }
 

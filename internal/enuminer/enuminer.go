@@ -148,10 +148,18 @@ func (m *Miner) mineSerial(p *core.Problem, space *core.Space, ev *measure.Evalu
 				// is its cover size.
 				if len(child.cover) >= p.SupportThreshold {
 					queue = append(queue, child)
+				} else {
+					// Pruned: recycle the cover buffer. Found rules
+					// keep ms.PatternCover (the same slice), so only
+					// never-surfaced covers may be released.
+					ev.ReleaseCover(child.cover)
+					child.cover = nil
 				}
 				continue
 			}
 			if ms.Support < p.SupportThreshold {
+				ev.ReleaseCover(child.cover)
+				child.cover = nil
 				continue // Lemma 1: the whole subtree is below η_s
 			}
 			found = append(found, core.MinedRule{Rule: child.r, Measures: ms})

@@ -58,13 +58,14 @@ func TestParallelMineDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 			errgen.Inject(ds.Input, errgen.Config{Rate: 0.08, Rng: rand.New(rand.NewSource(2))})
-			mkProblem := func(workers int) *core.Problem {
+			mkProblem := func(workers int, scalar bool) *core.Problem {
 				return &core.Problem{
 					Input: ds.Input, Master: ds.Master, Match: ds.Match,
 					Y: ds.Y, Ym: ds.Ym,
 					SupportThreshold: ds.SupportThreshold,
 					TopK:             20,
 					Parallelism:      workers,
+					ScalarEval:       scalar,
 				}
 			}
 			for _, miner := range []struct {
@@ -73,7 +74,10 @@ func TestParallelMineDeterminism(t *testing.T) {
 			}{{"EnuMiner", New}, {"EnuMinerH3", NewH3}} {
 				t.Run(miner.name, func(t *testing.T) {
 					cfg := Config{MaxExplored: 4000}
-					base, err := miner.mk(cfg).Mine(mkProblem(1))
+					// The scalar serial walk is the reference; the
+					// columnar engine and every worker count must
+					// reproduce it bit for bit.
+					base, err := miner.mk(cfg).Mine(mkProblem(1, true))
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -81,12 +85,17 @@ func TestParallelMineDeterminism(t *testing.T) {
 						t.Fatalf("degenerate baseline: explored=%d rules=%d",
 							base.Explored, len(base.Rules))
 					}
-					for _, workers := range []int{2, 8} {
-						got, err := miner.mk(cfg).Mine(mkProblem(workers))
-						if err != nil {
-							t.Fatal(err)
+					for _, scalar := range []bool{true, false} {
+						for _, workers := range []int{1, 2, 8} {
+							if scalar && workers == 1 {
+								continue // the baseline itself
+							}
+							got, err := miner.mk(cfg).Mine(mkProblem(workers, scalar))
+							if err != nil {
+								t.Fatal(err)
+							}
+							assertIdenticalResults(t, base, got, workers)
 						}
-						assertIdenticalResults(t, base, got, workers)
 					}
 				})
 			}

@@ -180,6 +180,14 @@ func (e *Env) StopAction() int { return e.space.Dim() }
 // Reset starts a new episode with a fresh rule tree rooted at the empty
 // rule s*, returning the initial state and mask.
 func (e *Env) Reset() ([]float64, []bool) {
+	// Recycle the finished episode's cover buffers: found/allFound keep
+	// measures only (never PatternCover), so the tree nodes are the sole
+	// owners of their covers and handing them back keeps steady-state
+	// episodes allocation-free.
+	for _, n := range e.seen {
+		e.ev.ReleaseCover(n.cover)
+		n.cover = nil
+	}
 	root := &node{
 		r:   rule.New(nil, e.problem.Y, e.problem.Ym, nil),
 		key: "",
@@ -443,6 +451,10 @@ func (e *Env) growChild(parent *node, action int) float64 {
 		child.cover = cover
 		e.queue = append(e.queue, child)
 		e.current = child
+	} else if cover != nil {
+		// Evaluated but pruned: the cover will never be descended into,
+		// so return its buffer to the evaluator.
+		e.ev.ReleaseCover(cover)
 	}
 
 	// Reward (Alg. 2): base reward plus the first-expansion shaping

@@ -110,7 +110,10 @@ func (e *Env) SaveState() ([]byte, error) {
 			nw.HasParent = true
 		}
 		if n.cover != nil {
-			nw.Cover = n.cover
+			// Copy: node covers live in the evaluator's reusable buffer
+			// pool, and the wire snapshot must stay intact after the
+			// next Reset recycles them.
+			nw.Cover = append([]int32(nil), n.cover...)
 			nw.HasCover = true
 		}
 		w.Nodes = append(w.Nodes, nw)

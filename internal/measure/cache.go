@@ -30,13 +30,16 @@ func NewIndexCache() *IndexCache {
 
 // get returns the index stored under key, invoking build at most once
 // per key across all callers. built reports whether this call performed
-// the build, so the calling shard can account for it in its Stats.
-func (c *IndexCache) get(key string, build func() masterIndex) (idx masterIndex, built bool) {
+// the build, so the calling shard can account for it in its Stats. The
+// key is taken as bytes so the hit path never allocates (the compiler
+// elides the string conversion in map lookups); it is copied to a
+// string only on insert.
+func (c *IndexCache) get(key []byte, build func() masterIndex) (idx masterIndex, built bool) {
 	c.mu.Lock()
-	e, ok := c.entries[key]
+	e, ok := c.entries[string(key)]
 	if !ok {
 		e = &cacheEntry{}
-		c.entries[key] = e
+		c.entries[string(key)] = e
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {

@@ -54,7 +54,16 @@ type Hist struct {
 func (h *Hist) add(v int32) {
 	h.Counts[v]++
 	h.Total++
-	if c := h.Counts[v]; c > h.Max || (c == h.Max && v < h.Arg) {
+	c := h.Counts[v]
+	if h.Total == 1 {
+		// First observation: the argmax is v by definition. Make that
+		// explicit rather than relying on c > h.Max with the zero-valued
+		// Arg — the implicit form silently depends on Max starting at 0
+		// and would corrupt the tie-break if it ever didn't.
+		h.Max, h.Arg = c, v
+		return
+	}
+	if c > h.Max || (c == h.Max && v < h.Arg) {
 		h.Max = c
 		h.Arg = v
 	}
@@ -75,7 +84,11 @@ type masterIndex map[string]*Hist
 // Evaluator evaluates rules over a fixed (input, master, truth) triple.
 // It caches master indexes keyed by the master attribute list, which is
 // what makes repeated evaluation across thousands of candidate rules
-// tractable (DESIGN.md decision 2).
+// tractable (DESIGN.md decision 2). By default rules are evaluated on
+// the columnar engine — posting-list cover intersections plus dense
+// group-id projections (posting.go, groups.go; DESIGN.md decision 16) —
+// which is bit-identical to the retained scalar path selectable with
+// Scalar.
 //
 // An Evaluator is not safe for concurrent use, but evaluators sharing
 // one IndexCache may run concurrently with each other: use Shard to
@@ -92,6 +105,11 @@ type Evaluator struct {
 	// cache holds the built master indexes; it may be shared across
 	// evaluator shards and is safe for concurrent use.
 	cache *IndexCache
+	// columns is the columnar store over the input relation (posting
+	// lists, group projections). Like cache it may be shared across
+	// shards and is safe for concurrent use; unlike cache it is bound to
+	// one input relation (see ShareColumns).
+	columns *ColumnIndex
 	// keyBuf is reused across input-key constructions to avoid
 	// allocation. It must never be shared with idxKeyBuf: index() can
 	// run between an inputKey() call and the use of its result, so a
@@ -100,12 +118,40 @@ type Evaluator struct {
 	// idxKeyBuf is the separate reusable buffer for index cache keys.
 	idxKeyBuf []byte
 
+	// memoRule/memoProj memoise the last rule's group projection on
+	// pointer identity, skipping the cache mutex on the common
+	// many-Evaluate-calls-per-rule pattern. memoVersion guards against
+	// input mutation between calls.
+	memoRule    *rule.Rule
+	memoProj    *groupProjection
+	memoVersion int64
+
+	// coverFree is the freelist of cover buffers handed back through
+	// ReleaseCover; getCover pops from it so steady-state evaluation is
+	// allocation-free. Owned by the evaluator's goroutine.
+	coverFree [][]int32
+	// condScratch, condLists and condOrder are the per-condition scratch
+	// of columnar cover intersection, reused across calls.
+	condScratch []condBufs
+	condLists   [][]int32
+	condOrder   []int
+	// isectA/isectB are the ping-pong buffers of the intersection chain.
+	isectA, isectB []int32
+
 	// Parallelism chunks full-relation pattern scans — Evaluate and
 	// PatternCover with a nil parent cover — across this many
 	// goroutines. Zero or one scans serially; chunk results are merged
-	// in row order, so every setting yields bit-identical output. Set
-	// it only from the goroutine that owns the evaluator.
+	// in row order, so every setting yields bit-identical output. The
+	// chunked scan belongs to the scalar engine; the columnar engine
+	// replaces it with posting-list intersections. Set it only from the
+	// goroutine that owns the evaluator.
 	Parallelism int
+
+	// Scalar forces the retained row-at-a-time reference path. The
+	// columnar default is bit-identical (pinned by the differential and
+	// fuzz suites); the flag exists for those suites and as an
+	// operational escape hatch.
+	Scalar bool
 
 	// Stats counts evaluator work for the ablation benchmarks.
 	Stats Stats
@@ -117,7 +163,11 @@ type Stats struct {
 	Evaluations int
 	// IndexBuilds is the number of master indexes built (cache misses).
 	IndexBuilds int
-	// TuplesScanned is the total number of input tuples visited.
+	// TuplesScanned is the total number of logical input tuples a scan
+	// visits (full-relation scans count NumRows, cover-restricted scans
+	// count the parent cover size). The columnar engine reports the same
+	// totals as the scalar one even though its posting-list intersections
+	// touch fewer rows physically, so ablation comparisons stay stable.
 	TuplesScanned int
 }
 
@@ -142,30 +192,50 @@ func NewEvaluator(input, master *relation.Relation, truth []int32) *Evaluator {
 // repair) reuse each other's built indexes.
 func NewSharedEvaluator(input, master *relation.Relation, truth []int32, cache *IndexCache) *Evaluator {
 	return &Evaluator{
-		input:  input,
-		master: master,
-		truth:  truth,
-		cache:  cache,
+		input:   input,
+		master:  master,
+		truth:   truth,
+		cache:   cache,
+		columns: NewColumnIndex(input),
 	}
 }
 
 // Shard returns a lightweight evaluator that borrows e's relations,
-// truth column and index cache but owns its key buffers and Stats, so
-// it can run on a different goroutine than e and than any other shard.
-// Shards scan serially (Parallelism 1): the caller owns the cross-shard
-// fan-out. Merge shard Stats back with Stats.Add.
+// truth column, index cache and columnar store but owns its key
+// buffers, scratch, freelist and Stats, so it can run on a different
+// goroutine than e and than any other shard. Shards scan serially
+// (Parallelism 1): the caller owns the cross-shard fan-out. Merge shard
+// Stats back with Stats.Add.
 func (e *Evaluator) Shard() *Evaluator {
 	return &Evaluator{
-		input:  e.input,
-		master: e.master,
-		truth:  e.truth,
-		cache:  e.cache,
+		input:   e.input,
+		master:  e.master,
+		truth:   e.truth,
+		cache:   e.cache,
+		columns: e.columns,
+		Scalar:  e.Scalar,
 	}
 }
 
 // Cache exposes the evaluator's index cache for sharing with other
 // evaluators (see NewSharedEvaluator).
 func (e *Evaluator) Cache() *IndexCache { return e.cache }
+
+// Columns exposes the evaluator's columnar store for sharing with other
+// evaluators over the same input relation (see ShareColumns).
+func (e *Evaluator) Columns() *ColumnIndex { return e.columns }
+
+// ShareColumns rebinds the evaluator to an existing columnar store so
+// that separately-constructed evaluators over the same input relation
+// (mining, reward queries, repair) reuse each other's posting lists and
+// group projections. It panics if ci indexes a different relation.
+func (e *Evaluator) ShareColumns(ci *ColumnIndex) {
+	if ci.rel != e.input {
+		panic("measure: ShareColumns: column index built over a different relation")
+	}
+	e.columns = ci
+	e.memoRule, e.memoProj = nil, nil
+}
 
 // Input returns the input relation the evaluator reads.
 func (e *Evaluator) Input() *relation.Relation { return e.input }
@@ -183,7 +253,7 @@ func (e *Evaluator) index(r *rule.Rule) masterIndex {
 		e.idxKeyBuf = appendCode(e.idxKeyBuf, int32(p.Master))
 	}
 	e.idxKeyBuf = appendCode(e.idxKeyBuf, int32(r.Ym))
-	idx, built := e.cache.get(string(e.idxKeyBuf), func() masterIndex {
+	idx, built := e.cache.get(e.idxKeyBuf, func() masterIndex {
 		return buildIndex(e.master, r)
 	})
 	if built {
@@ -203,16 +273,8 @@ func buildIndex(m *relation.Relation, r *rule.Rule) masterIndex {
 		if y == relation.Null {
 			continue
 		}
-		buf = buf[:0]
-		ok := true
-		for _, p := range r.LHS {
-			c := m.Code(row, p.Master)
-			if c == relation.Null {
-				ok = false
-				break
-			}
-			buf = appendCode(buf, c)
-		}
+		var ok bool
+		buf, ok = appendLHSKey(buf[:0], m, row, r.LHS, true)
 		if !ok {
 			continue
 		}
@@ -233,13 +295,10 @@ func appendCode(b []byte, c int32) []byte {
 // inputKey encodes t[X] for the rule's LHS; ok is false when any LHS cell
 // is Null (a tuple with a missing LHS value cannot match any master tuple).
 func (e *Evaluator) inputKey(r *rule.Rule, row int) (string, bool) {
-	e.keyBuf = e.keyBuf[:0]
-	for _, p := range r.LHS {
-		c := e.input.Code(row, p.Input)
-		if c == relation.Null {
-			return "", false
-		}
-		e.keyBuf = appendCode(e.keyBuf, c)
+	var ok bool
+	e.keyBuf, ok = appendLHSKey(e.keyBuf[:0], e.input, row, r.LHS, false)
+	if !ok {
+		return "", false
 	}
 	return string(e.keyBuf), true
 }
@@ -250,12 +309,31 @@ func (e *Evaluator) Candidates(r *rule.Rule, row int) (*Hist, bool) {
 	if len(r.LHS) == 0 || !r.MatchesPattern(e.input, row) {
 		return nil, false
 	}
-	key, ok := e.inputKey(r, row)
-	if !ok {
+	return e.CoveredCandidates(r, row)
+}
+
+// CoveredCandidates is Candidates for a row already known to match the
+// rule's pattern (typically drawn from its PatternCover): it skips the
+// per-row pattern re-check, which is what makes cover-driven repair
+// (repair.ApplyContext) sub-linear in the relation size.
+func (e *Evaluator) CoveredCandidates(r *rule.Rule, row int) (*Hist, bool) {
+	if len(r.LHS) == 0 {
 		return nil, false
 	}
-	h, ok := e.index(r)[key]
-	return h, ok
+	if e.Scalar {
+		key, ok := e.inputKey(r, row)
+		if !ok {
+			return nil, false
+		}
+		h, ok := e.index(r)[key]
+		return h, ok
+	}
+	gp := e.ruleProjection(r)
+	gid := gp.rowGroup[row]
+	if gid < 0 || gp.hists[gid] == nil {
+		return nil, false
+	}
+	return gp.hists[gid], true
 }
 
 // truthCode returns the ground-truth Y code for input row.
@@ -273,7 +351,62 @@ func (e *Evaluator) truthCode(r *rule.Rule, row int) int32 {
 // A rule with an empty LHS has, by definition, no join with the master
 // data and is assigned zero support and utility; its pattern cover is
 // still computed so children can be evaluated on the subspace.
+//
+// The returned cover may come from the evaluator's buffer freelist:
+// callers that are done with it can hand it back via ReleaseCover to
+// keep steady-state evaluation allocation-free.
 func (e *Evaluator) Evaluate(r *rule.Rule, parentCover []int32) Measures {
+	if e.Scalar {
+		return e.evaluateScalar(r, parentCover)
+	}
+	e.Stats.Evaluations++
+
+	var cover []int32
+	if parentCover == nil {
+		cover = e.columnarFullCover(r)
+		e.Stats.TuplesScanned += e.input.NumRows()
+	} else {
+		cover = e.filterCover(r, parentCover)
+		e.Stats.TuplesScanned += len(parentCover)
+	}
+
+	m := Measures{PatternCover: cover}
+	if len(r.LHS) == 0 {
+		return m
+	}
+
+	gp := e.ruleProjection(r)
+	truth := e.truth
+	if truth == nil {
+		truth = e.input.Column(r.Y)
+	}
+	var sumC, sumK float64
+	for _, row := range cover {
+		gid := gp.rowGroup[row]
+		if gid < 0 || gp.hists[gid] == nil {
+			continue
+		}
+		m.Support++
+		sumC += gp.cert[gid]
+		if gp.arg[gid] == truth[row] {
+			sumK++
+		} else {
+			sumK--
+		}
+	}
+	if m.Support > 0 {
+		m.Certainty = sumC / float64(m.Support)
+		m.Quality = sumK / float64(m.Support)
+		m.Utility = Utility(m.Support, m.Certainty, m.Quality)
+	}
+	return m
+}
+
+// evaluateScalar is the retained row-at-a-time reference implementation
+// of Evaluate: a MatchesPattern cover scan followed by a per-row string
+// key build and master-index map probe. The differential and fuzz
+// suites pin the columnar path against it.
+func (e *Evaluator) evaluateScalar(r *rule.Rule, parentCover []int32) Measures {
 	e.Stats.Evaluations++
 	in := e.input
 
@@ -326,19 +459,151 @@ func (e *Evaluator) Evaluate(r *rule.Rule, parentCover []int32) Measures {
 // PatternCover filters the parent cover (nil = all input rows) down to
 // the rows matching the rule's pattern, without evaluating measures. The
 // MDP environment uses it to rebuild a node's cover cheaply when the
-// rule's measures come from the reward cache R_Σ.
+// rule's measures come from the reward cache R_Σ. Like Evaluate's cover,
+// the result may be handed back through ReleaseCover.
 func (e *Evaluator) PatternCover(r *rule.Rule, parentCover []int32) []int32 {
-	in := e.input
-	if parentCover == nil {
-		return e.fullScanCover(r)
+	if e.Scalar {
+		in := e.input
+		if parentCover == nil {
+			return e.fullScanCover(r)
+		}
+		out := make([]int32, 0, len(parentCover))
+		for _, row := range parentCover {
+			if r.MatchesPattern(in, int(row)) {
+				out = append(out, row)
+			}
+		}
+		return out
 	}
-	out := make([]int32, 0, len(parentCover))
+	if parentCover == nil {
+		return e.columnarFullCover(r)
+	}
+	return e.filterCover(r, parentCover)
+}
+
+// getCover pops a cover buffer of at least the given capacity from the
+// freelist, or allocates one. The returned slice is non-nil and empty.
+func (e *Evaluator) getCover(capacity int) []int32 {
+	if n := len(e.coverFree); n > 0 {
+		c := e.coverFree[n-1]
+		e.coverFree[n-1] = nil
+		e.coverFree = e.coverFree[:n-1]
+		if cap(c) >= capacity {
+			return c[:0]
+		}
+		// Too small: drop it and allocate at the requested size.
+	}
+	return make([]int32, 0, capacity)
+}
+
+// maxCoverFree bounds the freelist so pathological release patterns
+// cannot pin unbounded memory.
+const maxCoverFree = 256
+
+// ReleaseCover returns a cover obtained from Evaluate or PatternCover
+// to the evaluator's freelist for reuse. Passing nil is a no-op. The
+// caller must not use the slice afterwards, and must call it on the
+// same goroutine that owns the evaluator (shards own their freelists).
+func (e *Evaluator) ReleaseCover(c []int32) {
+	if cap(c) == 0 || len(e.coverFree) >= maxCoverFree {
+		return
+	}
+	e.coverFree = append(e.coverFree, c[:0])
+}
+
+// filterCover restricts a non-nil parent cover to the rows matching the
+// rule's pattern. The parent cover is caller-ordered (in practice
+// ascending), so the columnar engine keeps the row loop here — posting
+// intersections apply only to full-relation scans — which preserves the
+// scalar path's ordering semantics exactly.
+func (e *Evaluator) filterCover(r *rule.Rule, parentCover []int32) []int32 {
+	in := e.input
+	out := e.getCover(len(parentCover))
 	for _, row := range parentCover {
 		if r.MatchesPattern(in, int(row)) {
 			out = append(out, row)
 		}
 	}
 	return out
+}
+
+// columnarFullCover computes the whole-relation pattern cover as a
+// k-way intersection of per-condition posting lists, smallest list
+// first. The output is ascending row ids — bit-identical to the scalar
+// full scan.
+func (e *Evaluator) columnarFullCover(r *rule.Rule) []int32 {
+	if len(r.Pattern) == 0 {
+		all := e.columns.allRows()
+		out := e.getCover(len(all))
+		return append(out, all...)
+	}
+
+	// Grow the per-condition scratch without losing accumulated buffer
+	// capacity, then resolve each condition to its ascending row list.
+	for len(e.condScratch) < len(r.Pattern) {
+		e.condScratch = append(e.condScratch, condBufs{})
+	}
+	lists := e.condLists[:0]
+	for i := range r.Pattern {
+		cond := r.Pattern[i]
+		rows := condRows(e.columns.postings(cond.Attr), cond, &e.condScratch[i])
+		if len(rows) == 0 {
+			e.condLists = lists
+			return e.getCover(0)
+		}
+		lists = append(lists, rows)
+	}
+	e.condLists = lists
+
+	// Intersect smallest-first for the tightest intermediate results.
+	// The order is chosen by (length, position) with an insertion sort —
+	// deterministic and allocation-free for the short condition lists
+	// rules carry.
+	order := e.condOrder[:0]
+	for i := range lists {
+		order = append(order, i)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if len(lists[a]) < len(lists[b]) || (len(lists[a]) == len(lists[b]) && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	e.condOrder = order
+
+	acc := lists[order[0]]
+	useA := true
+	for k := 1; k < len(order) && len(acc) > 0; k++ {
+		if useA {
+			e.isectA = intersectInto(e.isectA[:0], acc, lists[order[k]])
+			acc = e.isectA
+		} else {
+			e.isectB = intersectInto(e.isectB[:0], acc, lists[order[k]])
+			acc = e.isectB
+		}
+		useA = !useA
+	}
+	out := e.getCover(len(acc))
+	return append(out, acc...)
+}
+
+// ruleProjection returns the rule's group projection, memoised on rule
+// pointer identity so repeated evaluations of one rule skip the cache
+// mutex entirely.
+func (e *Evaluator) ruleProjection(r *rule.Rule) *groupProjection {
+	if e.memoRule == r && e.memoVersion == e.input.Version() {
+		return e.memoProj
+	}
+	idx := e.index(r)
+	e.keyBuf = appendGroupKey(e.keyBuf[:0], r)
+	gp := e.columns.projection(e.keyBuf, func() *groupProjection {
+		return buildProjection(e.input, r.LHS, idx)
+	})
+	e.memoRule, e.memoProj, e.memoVersion = r, gp, e.input.Version()
+	return gp
 }
 
 // minScanChunk bounds the per-goroutine work of a chunked full-relation

@@ -1,0 +1,313 @@
+// Columnar posting-list layer of the evaluation engine (DESIGN.md
+// decision 16). For each input attribute the ColumnIndex materialises,
+// lazily and at most once, the posting list of every value code: the
+// ascending row ids holding that code. A rule's pattern cover then
+// reduces to a k-way intersection of sorted int32 lists instead of a
+// MatchesPattern loop over every tuple, and the per-rule group
+// projection (groups.go) turns the Evaluate inner loop into two array
+// loads.
+
+package measure
+
+import (
+	"sync"
+
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+)
+
+// attrPostings holds the posting lists of one input attribute: rows maps
+// each value code to the ascending row ids carrying it, and nonNull is
+// the ascending list of all rows with a non-Null value (the universe a
+// negated condition subtracts from). Immutable once built.
+type attrPostings struct {
+	rows    map[int32][]int32
+	nonNull []int32
+}
+
+func buildAttrPostings(rel *relation.Relation, attr int) *attrPostings {
+	col := rel.Column(attr)
+	p := &attrPostings{rows: make(map[int32][]int32)}
+	for row, c := range col {
+		if c == relation.Null {
+			continue
+		}
+		p.rows[c] = append(p.rows[c], int32(row))
+		p.nonNull = append(p.nonNull, int32(row))
+	}
+	return p
+}
+
+// postingEntry and groupEntry give each cached structure per-key
+// singleflight semantics, mirroring IndexCache: concurrent requests for
+// one entry block until the single builder finishes, requests for
+// distinct entries proceed independently.
+type postingEntry struct {
+	once sync.Once
+	p    *attrPostings
+}
+
+type groupEntry struct {
+	once sync.Once
+	g    *groupProjection
+}
+
+// ColumnIndex is the shared columnar store of one input relation:
+// per-attribute posting lists, per-rule group projections (groups.go)
+// and the identity row list. It is the input-side counterpart of
+// IndexCache and is deliberately kept separate from it — IndexCache is
+// keyed only by master-side attribute lists and is shared across
+// requests with different input relations in the serving layer, so
+// caching input-derived structures there would both leak memory per
+// request and break the cache-size accounting the shard tests pin
+// (DESIGN.md decision 16).
+//
+// A ColumnIndex is safe for concurrent use. Entries are immutable once
+// published. Every access validates the relation's mutation counter and
+// drops all entries when the relation has changed since they were
+// built; mutating the relation while another goroutine evaluates is not
+// supported (it never was — evaluation reads columns without locks).
+type ColumnIndex struct {
+	rel *relation.Relation
+
+	mu sync.Mutex
+	// version is the relation mutation counter the resident entries were
+	// built against. guarded by mu
+	version int64
+	// attrs holds one posting entry per input attribute. guarded by mu
+	attrs []*postingEntry
+	// groups holds the group projections, keyed by the encoded
+	// (LHS pairs, Y_m) list of a rule. guarded by mu
+	groups map[string]*groupEntry
+	// all caches the identity row list [0, NumRows). guarded by mu
+	all []int32
+}
+
+// NewColumnIndex returns an empty columnar store over rel.
+func NewColumnIndex(rel *relation.Relation) *ColumnIndex {
+	return &ColumnIndex{
+		rel:     rel,
+		version: rel.Version(),
+		attrs:   make([]*postingEntry, rel.NumCols()),
+		groups:  make(map[string]*groupEntry),
+	}
+}
+
+// Relation returns the input relation the store indexes.
+func (ci *ColumnIndex) Relation() *relation.Relation { return ci.rel }
+
+// Each accessor below re-checks the relation's mutation counter under
+// ci.mu and drops every cached structure when it changed. The
+// invalidation is inlined rather than factored into a *Locked helper so
+// the guardedby analysis can verify, function by function, that every
+// access to the annotated fields happens under the lock.
+
+// postings returns the posting lists of one attribute, building them at
+// most once per relation version.
+func (ci *ColumnIndex) postings(attr int) *attrPostings {
+	ci.mu.Lock()
+	if v := ci.rel.Version(); v != ci.version {
+		ci.version = v
+		ci.attrs = make([]*postingEntry, ci.rel.NumCols())
+		ci.groups = make(map[string]*groupEntry)
+		ci.all = nil
+	}
+	e := ci.attrs[attr]
+	if e == nil {
+		e = &postingEntry{}
+		ci.attrs[attr] = e
+	}
+	ci.mu.Unlock()
+	e.once.Do(func() { e.p = buildAttrPostings(ci.rel, attr) })
+	return e.p
+}
+
+// allRows returns the shared identity row list [0, NumRows). Callers
+// must not modify or retain it beyond the current evaluation.
+func (ci *ColumnIndex) allRows() []int32 {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if v := ci.rel.Version(); v != ci.version {
+		ci.version = v
+		ci.attrs = make([]*postingEntry, ci.rel.NumCols())
+		ci.groups = make(map[string]*groupEntry)
+		ci.all = nil
+	}
+	if ci.all == nil {
+		all := make([]int32, ci.rel.NumRows())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		ci.all = all
+	}
+	return ci.all
+}
+
+// projection returns the group projection stored under key, invoking
+// build at most once per key and relation version. key is copied on
+// insert, so callers may reuse the backing buffer.
+func (ci *ColumnIndex) projection(key []byte, build func() *groupProjection) *groupProjection {
+	ci.mu.Lock()
+	if v := ci.rel.Version(); v != ci.version {
+		ci.version = v
+		ci.attrs = make([]*postingEntry, ci.rel.NumCols())
+		ci.groups = make(map[string]*groupEntry)
+		ci.all = nil
+	}
+	e, ok := ci.groups[string(key)]
+	if !ok {
+		e = &groupEntry{}
+		ci.groups[string(key)] = e
+	}
+	ci.mu.Unlock()
+	e.once.Do(func() { e.g = build() })
+	return e.g
+}
+
+// mergeInto appends the ascending union of a and b (both ascending,
+// mutually disjoint or not) to dst and returns it.
+func mergeInto(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case b[j] < a[i]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// subtractInto appends base minus sub (both ascending) to dst and
+// returns it.
+func subtractInto(dst, base, sub []int32) []int32 {
+	j := 0
+	for _, v := range base {
+		for j < len(sub) && sub[j] < v {
+			j++
+		}
+		if j < len(sub) && sub[j] == v {
+			continue
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// intersectInto appends the ascending intersection of a and b to dst
+// and returns it. When the lengths are lopsided it gallops through the
+// longer list with a doubling probe instead of stepping linearly.
+func intersectInto(dst, a, b []int32) []int32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= 8*len(a) {
+		// Galloping: binary-search each element of the short list in the
+		// remaining suffix of the long one.
+		lo := 0
+		for _, v := range a {
+			step := 1
+			hi := lo
+			for hi < len(b) && b[hi] < v {
+				lo = hi + 1
+				hi += step
+				step *= 2
+			}
+			if hi > len(b) {
+				hi = len(b)
+			}
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if b[mid] < v {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(b) && b[lo] == v {
+				dst = append(dst, v)
+				lo++
+			}
+			if lo >= len(b) {
+				break
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// condBufs are the per-condition scratch buffers of a columnar cover
+// computation: two ping-pong slots for the code-set union and one for
+// the negation difference. They live on the evaluator and are reused
+// across Evaluate calls, keeping the steady state allocation-free.
+type condBufs struct {
+	a, b, diff []int32
+}
+
+// condRows computes the ascending row ids satisfying cond. The result
+// may alias the attribute's posting lists or the scratch buffers, so
+// callers must copy it before retaining it.
+func condRows(p *attrPostings, cond rule.Condition, bufs *condBufs) []int32 {
+	if !cond.Negate && len(cond.Codes) == 1 {
+		return p.rows[cond.Codes[0]]
+	}
+	// Union of the code set's posting lists via iterative pairwise merge
+	// into the ping-pong buffers. The lists are disjoint (each row holds
+	// one code) but interleave arbitrarily.
+	var acc []int32
+	useA := true
+	for _, code := range cond.Codes {
+		rows := p.rows[code]
+		if len(rows) == 0 {
+			continue
+		}
+		if acc == nil {
+			acc = rows
+			continue
+		}
+		var dst []int32
+		if useA {
+			dst = mergeInto(bufs.a[:0], acc, rows)
+			bufs.a = dst
+		} else {
+			dst = mergeInto(bufs.b[:0], acc, rows)
+			bufs.b = dst
+		}
+		acc = dst
+		useA = !useA
+	}
+	if !cond.Negate {
+		return acc
+	}
+	if acc == nil {
+		return p.nonNull
+	}
+	bufs.diff = subtractInto(bufs.diff[:0], p.nonNull, acc)
+	return bufs.diff
+}

@@ -194,6 +194,9 @@ type Relation struct {
 	// indexed by column then row; nil for discrete columns.
 	nums [][]float64
 	n    int
+	// version counts mutations (AppendCodes, SetCode) so derived caches
+	// such as measure.ColumnIndex can detect staleness cheaply.
+	version int64
 }
 
 // New creates an empty relation over schema, drawing dictionaries from pool.
@@ -255,6 +258,7 @@ func (r *Relation) AppendCodes(codes []int32) {
 	}
 	r.nums = make([][]float64, r.schema.Len()) // invalidate numeric cache
 	r.n++
+	r.version++
 }
 
 // Code returns the dictionary code of cell (row, col).
@@ -264,7 +268,14 @@ func (r *Relation) Code(row, col int) int32 { return r.cols[col][row] }
 func (r *Relation) SetCode(row, col int, code int32) {
 	r.cols[col][row] = code
 	r.nums[col] = nil
+	r.version++
 }
+
+// Version returns the relation's mutation counter: it changes whenever
+// a tuple is appended or a cell overwritten. Derived structures (posting
+// lists, group projections) compare it against the value observed at
+// build time to decide whether they are still valid.
+func (r *Relation) Version() int64 { return r.version }
 
 // Value returns the string value of cell (row, col); "" for Null.
 func (r *Relation) Value(row, col int) string {

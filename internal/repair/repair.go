@@ -9,6 +9,7 @@ package repair
 
 import (
 	"context"
+	"sync"
 
 	"erminer/internal/measure"
 	"erminer/internal/relation"
@@ -34,14 +35,46 @@ func Apply(ev *measure.Evaluator, rules []*rule.Rule) Result {
 	return res
 }
 
+// applyScratch is the pooled per-call accumulation state of
+// ApplyContext. The per-row score maps are retained (emptied, not
+// freed) across calls, so a serving layer's steady-state repair
+// requests stop allocating them.
+type applyScratch struct {
+	scores []map[int32]float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(applyScratch) }}
+
 // ApplyContext is Apply with cooperative cancellation: the context is
 // checked between rules, so a serving layer can bound per-request repair
 // latency. On cancellation it returns the context's error together with
 // the aggregation over the rules fully applied so far (callers that want
 // all-or-nothing should discard the partial result).
+//
+// Each rule is applied over its pattern cover — computed by the
+// evaluator's columnar engine as a posting-list intersection — rather
+// than by re-testing the pattern against every tuple, and candidate
+// lookups go through the dense group-id projection
+// (Evaluator.CoveredCandidates). The covered rows come back in
+// ascending row order, exactly the order the former full scan visited
+// them, so the floating-point accumulation is bit-identical.
 func ApplyContext(ctx context.Context, ev *measure.Evaluator, rules []*rule.Rule) (Result, error) {
 	n := ev.Input().NumRows()
-	scores := make([]map[int32]float64, n)
+	sc := scratchPool.Get().(*applyScratch)
+	if cap(sc.scores) < n {
+		sc.scores = make([]map[int32]float64, n)
+	} else {
+		sc.scores = sc.scores[:n]
+	}
+	scores := sc.scores
+	defer func() {
+		for i := range scores {
+			if scores[i] != nil {
+				clear(scores[i])
+			}
+		}
+		scratchPool.Put(sc)
+	}()
 
 	var ctxErr error
 	for _, r := range rules {
@@ -49,8 +82,9 @@ func ApplyContext(ctx context.Context, ev *measure.Evaluator, rules []*rule.Rule
 			ctxErr = err
 			break
 		}
-		for row := 0; row < n; row++ {
-			h, ok := ev.Candidates(r, row)
+		cover := ev.PatternCover(r, nil)
+		for _, row := range cover {
+			h, ok := ev.CoveredCandidates(r, int(row))
 			if !ok || h.Total == 0 {
 				continue
 			}
@@ -63,6 +97,7 @@ func ApplyContext(ctx context.Context, ev *measure.Evaluator, rules []*rule.Rule
 				m[v] += float64(c) / float64(h.Total)
 			}
 		}
+		ev.ReleaseCover(cover)
 	}
 
 	res := Result{

@@ -1,0 +1,124 @@
+package serve
+
+// BenchmarkRepairThroughput measures the sustained request rate of the
+// serve repair path — the erminerd hot loop the columnar evaluation
+// engine exists for. Each iteration is one full POST /v1/repair over a
+// fixed batch, so ns/op is per-request latency; the benchmark
+// additionally reports req/s and the observed p99 latency in
+// milliseconds. scripts/bench.sh records these into BENCH_hotpath.json.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"erminer/internal/core"
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+	"erminer/internal/schema"
+)
+
+// benchServeProblem scales the district/area → postcode fixture up to
+// nd districts × na areas, so posting lists and master indexes have
+// real substance.
+func benchServeProblem(b *testing.B, nd, na int) *core.Problem {
+	b.Helper()
+	pool := relation.NewPool()
+	attrs := []relation.Attribute{
+		{Name: "district", Domain: "d"},
+		{Name: "area", Domain: "a"},
+		{Name: "postcode", Domain: "p"},
+	}
+	in := relation.NewSchema(attrs...)
+	ms := relation.NewSchema(attrs...)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	for d := 0; d < nd; d++ {
+		for a := 0; a < na; a++ {
+			row := []string{
+				fmt.Sprintf("d%03d", d),
+				fmt.Sprintf("a%03d", a),
+				fmt.Sprintf("%05d", 10000+d),
+			}
+			master.AppendRow(row)
+			input.AppendRow(row)
+		}
+	}
+	match, err := schema.FromNames(in, ms, map[string]string{"district": "district", "area": "area"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &core.Problem{
+		Input: input, Master: master, Match: match,
+		Y: 2, Ym: 2, SupportThreshold: 2, TopK: 10,
+	}
+}
+
+func BenchmarkRepairThroughput(b *testing.B) {
+	p := benchServeProblem(b, 60, 20)
+	rules := []core.MinedRule{
+		{
+			Rule:     rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 2, nil),
+			Measures: measure.Measures{Support: 1200, Certainty: 1, Quality: 1, Utility: 10},
+		},
+		{
+			Rule:     rule.New([]rule.AttrPair{{Input: 0, Master: 0}, {Input: 1, Master: 1}}, 2, 2, nil),
+			Measures: measure.Measures{Support: 1200, Certainty: 1, Quality: 1, Utility: 9},
+		},
+	}
+	s, err := New(p, rules, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		done := make(chan struct{})
+		time.AfterFunc(10*time.Second, func() { close(done) })
+		if err := s.Shutdown(done); err != nil {
+			b.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	// One fixed 64-tuple batch: half the tuples carry a wrong postcode,
+	// a quarter a missing one.
+	var sb strings.Builder
+	sb.WriteString(`{"tuples": [`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		pc := fmt.Sprintf(`"%05d"`, 10000+(i%60))
+		switch i % 4 {
+		case 0, 1:
+			pc = `"99999"`
+		case 2:
+			pc = `""`
+		}
+		fmt.Fprintf(&sb, `{"district": "d%03d", "area": "a%03d", "postcode": %s}`,
+			i%60, i%20, pc)
+	}
+	sb.WriteString(`]}`)
+	body := sb.String()
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		req := httptest.NewRequest("POST", "/v1/repair", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		lat = append(lat, time.Since(start))
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100%len(lat)]
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(p99.Microseconds())/1000, "p99_ms")
+}

@@ -108,6 +108,7 @@ func (s *Server) runRules(ctx context.Context, rel *relation.Relation, rs *ruleS
 	p := s.p
 	ev := measure.NewSharedEvaluator(rel, p.Master, nil, p.IndexCache)
 	ev.Parallelism = p.Workers()
+	ev.Scalar = p.ScalarEval
 	res, err := repair.ApplyContext(ctx, ev, rs.list)
 	s.metrics.indexBuilds.Add(int64(ev.Stats.IndexBuilds))
 	return ev, res, err

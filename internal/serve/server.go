@@ -247,8 +247,9 @@ func (s *Server) cloneProblem() *core.Problem {
 		}
 		return dst
 	}
+	input := copyRel(s.p.Input)
 	return &core.Problem{
-		Input:            copyRel(s.p.Input),
+		Input:            input,
 		Master:           copyRel(s.p.Master),
 		Match:            s.p.Match,
 		Y:                s.p.Y,
@@ -257,6 +258,10 @@ func (s *Server) cloneProblem() *core.Problem {
 		TopK:             s.p.TopK,
 		Parallelism:      s.p.Parallelism,
 		IndexCache:       measure.NewIndexCache(),
+		// The columnar store is bound to the cloned input: sharing the
+		// serving problem's would index the wrong relation.
+		Columns:    measure.NewColumnIndex(input),
+		ScalarEval: s.p.ScalarEval,
 	}
 }
 

@@ -1,0 +1,95 @@
+#!/bin/sh
+# bench.sh — record the columnar hot-path baseline into BENCH_hotpath.json.
+#
+# Runs the evaluation hot-path benchmarks — BenchmarkEvaluate/{columnar,
+# scalar} in bench_test.go and BenchmarkRepairThroughput in
+# internal/serve — and rewrites BENCH_hotpath.json from their output
+# (ns/op, allocs/op, req/s, p99_ms, plus the columnar-over-scalar
+# speedup). Run it on a quiet machine after touching internal/measure
+# and commit the result. CI does not run this script; it runs the same
+# benchmarks at -benchtime=1x as a smoke and gates on
+# TestEvaluateZeroAlloc instead (see .github/workflows/ci.yml).
+#
+# BENCHTIME=5s ./scripts/bench.sh  to trade time for tighter numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-2s}"
+out=BENCH_hotpath.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench BenchmarkEvaluate (-benchtime $benchtime)" >&2
+go test -run '^$' -bench 'BenchmarkEvaluate$' -benchmem -benchtime "$benchtime" . | tee -a "$raw" >&2
+
+echo "== go test -bench BenchmarkRepairThroughput ./internal/serve" >&2
+go test -run '^$' -bench 'BenchmarkRepairThroughput$' -benchmem -benchtime "$benchtime" ./internal/serve | tee -a "$raw" >&2
+
+# metric <benchmark name> <unit> — pull one value out of the raw
+# `go test -bench` output. Benchmark lines interleave values with their
+# units (`5043 ns/op  0 B/op  0 allocs/op  2604 req/s`), so scan
+# pairwise rather than assuming column positions.
+metric() {
+    awk -v name="$1" -v unit="$2" '
+        $1 ~ "^"name"(-[0-9]+)?$" {
+            for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit }
+        }' "$raw"
+}
+
+col_ns=$(metric 'BenchmarkEvaluate/columnar' 'ns/op')
+col_allocs=$(metric 'BenchmarkEvaluate/columnar' 'allocs/op')
+col_iters=$(awk '$1 ~ "^BenchmarkEvaluate/columnar(-[0-9]+)?$" { print $2; exit }' "$raw")
+sc_ns=$(metric 'BenchmarkEvaluate/scalar' 'ns/op')
+sc_allocs=$(metric 'BenchmarkEvaluate/scalar' 'allocs/op')
+rt_ns=$(metric 'BenchmarkRepairThroughput' 'ns/op')
+rt_allocs=$(metric 'BenchmarkRepairThroughput' 'allocs/op')
+rt_rps=$(metric 'BenchmarkRepairThroughput' 'req/s')
+rt_p99=$(metric 'BenchmarkRepairThroughput' 'p99_ms')
+
+for v in "$col_ns" "$col_allocs" "$sc_ns" "$rt_ns" "$rt_rps" "$rt_p99"; do
+    if [ -z "$v" ]; then
+        echo "bench.sh: failed to parse a metric out of the benchmark output" >&2
+        exit 1
+    fi
+done
+speedup=$(awk -v s="$sc_ns" -v c="$col_ns" 'BEGIN { printf "%.1f", s / c }')
+cpu=$(awk -F': ' '/^cpu:/ { print $2; exit }' "$raw")
+
+cat > "$out" <<EOF
+{
+  "description": "Baseline for the columnar posting-list evaluation engine (DESIGN.md decision 16). BenchmarkEvaluate/columnar is the steady-state rule-evaluation hot path shared by both miners and the serving layer: warm posting lists, dense group-id projection, recycled cover buffer; its allocs_per_op must be 0 (CI gates on TestEvaluateZeroAlloc). BenchmarkEvaluate/scalar is the retained row-at-a-time reference path (-scalar-eval), verified bit-identical by the differential and fuzz tests. BenchmarkRepairThroughput drives the erminerd POST /v1/repair handler end to end; its allocations are request-path JSON and relation building, not evaluation.",
+  "recorded": "$(date +%Y-%m-%d)",
+  "recorded_with": "scripts/bench.sh (benchtime $benchtime)",
+  "host": {
+    "go": "$(go version | awk '{print $3}')",
+    "goos": "$(go env GOOS)",
+    "goarch": "$(go env GOARCH)",
+    "cpu": "${cpu:-unknown}",
+    "cores": $(nproc)
+  },
+  "benchmarks": {
+    "BenchmarkEvaluate/columnar": {
+      "dataset": "covid 2500x1824, city+confirmed_date -> infection_case, full scan",
+      "iterations": ${col_iters:-0},
+      "ns_per_op": $col_ns,
+      "allocs_per_op": $col_allocs
+    },
+    "BenchmarkEvaluate/scalar": {
+      "dataset": "covid 2500x1824, city+confirmed_date -> infection_case, full scan",
+      "ns_per_op": $sc_ns,
+      "allocs_per_op": $sc_allocs
+    },
+    "BenchmarkRepairThroughput": {
+      "dataset": "district/area -> postcode 1200x1200, 64-tuple batches, 2 rules",
+      "ns_per_op": $rt_ns,
+      "allocs_per_op": $rt_allocs,
+      "req_per_s": $rt_rps,
+      "p99_ms": $rt_p99
+    }
+  },
+  "columnar_speedup_over_scalar": $speedup
+}
+EOF
+
+echo "wrote $out (columnar ${col_ns} ns/op, ${col_allocs} allocs/op; ${speedup}x over scalar; serve ${rt_rps} req/s, p99 ${rt_p99} ms)" >&2
