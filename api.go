@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"erminer/internal/cfd"
+	"erminer/internal/cluster"
 	"erminer/internal/core"
 	"erminer/internal/datagen"
 	"erminer/internal/enuminer"
@@ -253,6 +254,32 @@ type (
 // stop it with Server.Shutdown.
 func NewServer(p *Problem, rules []MinedRule, cfg ServeConfig) (*Server, error) {
 	return serve.New(p, rules, cfg)
+}
+
+// Cluster handles. The sharded serving cluster (ermcluster) fronts N
+// erminerd workers with a stateless coordinator that speaks the same
+// /v1/repair and /v1/validate API, hash-partitions each batch across
+// the fleet, and merges the sub-responses byte-identically to a single
+// node; PUT /v1/rules replicates rule-set generations to every worker
+// with a two-phase stage/activate push. See internal/cluster for the
+// topology and failure semantics.
+type (
+	// ClusterConfig tunes the coordinator (worker URLs, per-worker
+	// timeout, retry budget, health-check period). Workers is required;
+	// everything else has usable defaults.
+	ClusterConfig = cluster.Config
+	// Coordinator is the cluster front door, an http.Handler.
+	Coordinator = cluster.Coordinator
+	// WorkerStatus is one worker's liveness and rule generation as seen
+	// by the coordinator's health checker.
+	WorkerStatus = cluster.WorkerStatus
+)
+
+// NewCoordinator builds the ermcluster coordinator over a worker fleet
+// and starts its background health checker. Mount it on any net/http
+// mux and stop it with Coordinator.Shutdown.
+func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) {
+	return cluster.New(cfg)
 }
 
 // Validate sanity-checks a problem, returning a descriptive error for

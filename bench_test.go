@@ -343,42 +343,55 @@ func minNs(runs int, f func()) float64 {
 }
 
 // BenchmarkEvaluateParallel measures a full-relation pattern scan (the
-// Evaluate parentCover == nil path) chunked across all CPUs on a large
-// input, reporting the speedup over the same scan at Parallelism 1.
-// The chunked scan belongs to the retained scalar engine — the columnar
-// default replaces full scans with posting-list intersections — so the
-// benchmark pins ScalarEval. The parallel and serial scans return
-// bit-identical covers; the recorded baseline lives in
-// BENCH_parallel.json (marked stale: it predates the columnar engine
-// and was captured on a 1-core container).
+// Evaluate parentCover == nil path) on a large input at all-CPU
+// parallelism, reporting the speedup over the same scan at
+// Parallelism 1, in both engines: the scalar subbench pins ScalarEval
+// and exercises the retained chunked row-at-a-time scan, while the
+// columnar subbench runs the posting-list default that replaced full
+// scans — recorded side by side so BENCH_parallel.json tells the whole
+// story instead of only the legacy path. Parallel and serial scans
+// return bit-identical covers in both engines; re-record the baseline
+// with scripts/bench.sh.
 func BenchmarkEvaluateParallel(b *testing.B) {
 	ds, err := datagen.Covid().Build(datagen.DefaultSpec(40000, 1824, 1))
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := &core.Problem{
-		Input: ds.Input, Master: ds.Master, Match: ds.Match,
-		Y: ds.Y, Ym: ds.Ym, SupportThreshold: ds.SupportThreshold,
-		ScalarEval: true,
-	}
-	ov := p.Input.Schema().MustIndex("overseas")
-	no, ok := p.Input.Dict(ov).Lookup("No")
-	if !ok {
-		b.Fatal("No not interned")
-	}
-	scan := rule.New(nil, p.Y, p.Ym, nil).WithCondition(rule.Eq(ov, no))
+	for _, eng := range []struct {
+		name   string
+		scalar bool
+	}{
+		{"columnar", false},
+		{"scalar", true},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			p := &core.Problem{
+				Input: ds.Input, Master: ds.Master, Match: ds.Match,
+				Y: ds.Y, Ym: ds.Ym, SupportThreshold: ds.SupportThreshold,
+				ScalarEval: eng.scalar,
+			}
+			ov := p.Input.Schema().MustIndex("overseas")
+			no, ok := p.Input.Dict(ov).Lookup("No")
+			if !ok {
+				b.Fatal("No not interned")
+			}
+			scan := rule.New(nil, p.Y, p.Ym, nil).WithCondition(rule.Eq(ov, no))
 
-	serial := p.NewEvaluator()
-	serial.Parallelism = 1
-	par := p.NewEvaluator() // Parallelism defaults to NumCPU
+			serial := p.NewEvaluator()
+			serial.Parallelism = 1
+			serial.Evaluate(scan, nil) // warm indexes outside the timings
+			par := p.NewEvaluator()    // Parallelism defaults to NumCPU
+			par.Evaluate(scan, nil)
 
-	serialNs := minNs(5, func() { serial.Evaluate(scan, nil) })
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		par.Evaluate(scan, nil)
+			serialNs := minNs(5, func() { serial.Evaluate(scan, nil) })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				par.Evaluate(scan, nil)
+			}
+			b.ReportMetric(serialNs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "speedup")
+			b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+		})
 	}
-	b.ReportMetric(serialNs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "speedup")
-	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
 }
 
 // BenchmarkEnuMinerParallel measures a full EnuMinerH3 mine on the

@@ -25,6 +25,19 @@
 // Concurrent repair requests share one master-index cache, the request
 // queue is bounded (429 under overload), every request carries a
 // deadline, and SIGINT/SIGTERM drain in-flight work before exit.
+//
+// Cluster mode (ermcluster) scales the serving path horizontally. Start
+// N ordinary daemons as workers, then front them with a coordinator:
+//
+//	erminerd -worker -addr :8081 -input-csv shops.csv -master-csv directory.csv -y postcode -ym postcode
+//	erminerd -worker -addr :8082 -input-csv shops.csv -master-csv directory.csv -y postcode -ym postcode
+//	erminerd -cluster-coordinator -addr :8080 -workers http://localhost:8081,http://localhost:8082
+//
+// The coordinator serves the same /v1/repair and /v1/validate API,
+// hash-partitions each batch across the workers and merges the results
+// byte-identically to a single node; PUT /v1/rules replicates a rule
+// generation to every worker with a two-phase stage/activate push. It
+// holds no data itself — workers own the master data and rules.
 package main
 
 import (
@@ -33,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -71,6 +85,12 @@ type options struct {
 	drainTimeout    time.Duration
 	checkpointDir   string
 	checkpointEvery time.Duration
+
+	worker        bool
+	coordinator   bool
+	workers       string
+	workerTimeout time.Duration
+	retries       int
 }
 
 func main() {
@@ -102,9 +122,23 @@ func main() {
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "graceful-shutdown drain budget")
 	flag.StringVar(&o.checkpointDir, "checkpoint-dir", "", "directory for crash-safe rlminer job checkpoints; jobs interrupted by a crash resume on restart")
 	flag.DurationVar(&o.checkpointEvery, "checkpoint-every", 0, "wall-clock period between job checkpoint writes (0 = 30s)")
+	flag.BoolVar(&o.worker, "worker", false, "serve as an ermcluster worker (labels /healthz with the role; otherwise a normal daemon)")
+	flag.BoolVar(&o.coordinator, "cluster-coordinator", false, "serve as an ermcluster coordinator fronting -workers (holds no data; most other flags are ignored)")
+	flag.StringVar(&o.workers, "workers", "", "comma-separated worker base URLs for -cluster-coordinator")
+	flag.DurationVar(&o.workerTimeout, "worker-timeout", 0, "coordinator per-worker dispatch attempt timeout (0 = 10s)")
+	flag.IntVar(&o.retries, "retries", 0, "coordinator per-sub-batch retries before hedging to another worker (0 = 2, negative = none)")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	err := func() error {
+		if o.coordinator && o.worker {
+			return fmt.Errorf("-cluster-coordinator and -worker are mutually exclusive")
+		}
+		if o.coordinator {
+			return runCoordinator(o)
+		}
+		return run(o)
+	}()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "erminerd:", err)
 		os.Exit(1)
 	}
@@ -174,6 +208,69 @@ func mineInitial(p *erminer.Problem, method string, steps int, seed int64) ([]er
 	return res.Rules, nil
 }
 
+// serveAndDrain owns the daemon lifecycle shared by both roles: listen
+// (logging the bound address, so -addr :0 is scriptable), serve until a
+// signal or listener error, then drain within the budget. shutdown is
+// the role's own drain hook, called before the HTTP server's.
+func serveAndDrain(o options, what string, handler http.Handler, shutdown func(done <-chan struct{}) error) error {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("%s listening on %s", what, ln.Addr())
+		errc <- httpSrv.Serve(ln)
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v; draining (budget %v)", sig, o.drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := shutdown(ctx.Done()); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("%s stopped", what)
+	return nil
+}
+
+// runCoordinator is the -cluster-coordinator role: no problem, no
+// rules, just the fan-out front door over the worker fleet.
+func runCoordinator(o options) error {
+	if o.workers == "" {
+		return fmt.Errorf("-cluster-coordinator needs -workers")
+	}
+	var urls []string
+	for _, u := range strings.Split(o.workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	coord, err := erminer.NewCoordinator(erminer.ClusterConfig{
+		Workers:          urls,
+		PerWorkerTimeout: o.workerTimeout,
+		Retries:          o.retries,
+		RequestTimeout:   o.timeout,
+		MaxBatch:         o.maxBatch,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("coordinator fronting %d workers: %s", len(urls), strings.Join(urls, ", "))
+	return serveAndDrain(o, "ermcluster coordinator", coord, coord.Shutdown)
+}
+
 func run(o options) error {
 	p, err := buildProblem(o)
 	if err != nil {
@@ -211,6 +308,10 @@ func run(o options) error {
 		log.Printf("starting with an empty rule set; POST /v1/jobs or PUT /v1/rules to activate one")
 	}
 
+	role := ""
+	if o.worker {
+		role = "worker"
+	}
 	srv, err := erminer.NewServer(p, rules, erminer.ServeConfig{
 		RepairWorkers:   o.repairWorkers,
 		QueueDepth:      o.queueDepth,
@@ -220,6 +321,7 @@ func run(o options) error {
 		MaxBatch:        o.maxBatch,
 		CheckpointDir:   o.checkpointDir,
 		CheckpointEvery: o.checkpointEvery,
+		Role:            role,
 	})
 	if err != nil {
 		return err
@@ -232,30 +334,9 @@ func run(o options) error {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: o.addr, Handler: srv}
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("erminerd listening on %s", o.addr)
-		errc <- httpSrv.ListenAndServe()
-	}()
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		return err
-	case sig := <-sigc:
-		log.Printf("received %v; draining (budget %v)", sig, o.drainTimeout)
+	what := "erminerd"
+	if o.worker {
+		what = "erminerd worker"
 	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
-	defer cancel()
-	if err := srv.Shutdown(ctx.Done()); err != nil {
-		log.Printf("job drain: %v", err)
-	}
-	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		return err
-	}
-	log.Printf("erminerd stopped")
-	return nil
+	return serveAndDrain(o, what, srv, srv.Shutdown)
 }

@@ -18,6 +18,7 @@ func TestGuardedByInventory(t *testing.T) {
 	want := map[string][]string{
 		"../serve/server.go": {
 			"Server.p=dictMu",
+			"Server.staged=stagedMu",
 		},
 		"../serve/jobs.go": {
 			"job.activated=mu",

@@ -7,10 +7,12 @@ import (
 )
 
 // ctxcancelPkgs are the layers that sit on the request path: the
-// serving daemon and the repair engine it calls into.
+// serving daemon, the repair engine it calls into, and the cluster
+// coordinator that fans requests out over worker daemons.
 var ctxcancelPkgs = map[string]bool{
-	"serve":  true,
-	"repair": true,
+	"serve":   true,
+	"repair":  true,
+	"cluster": true,
 }
 
 // CtxCancel requires exported blocking entry points of the serving and
@@ -22,7 +24,7 @@ var ctxcancelPkgs = map[string]bool{
 // of DESIGN.md decision 12 falls over.
 var CtxCancel = &Check{
 	Name: "ctxcancel",
-	Doc:  "exported blocking entry points in serve/repair take and use a context.Context or done channel",
+	Doc:  "exported blocking entry points in serve/repair/cluster take and use a context.Context or done channel",
 	Run:  runCtxCancel,
 }
 

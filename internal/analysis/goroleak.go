@@ -7,14 +7,16 @@ import (
 
 // goroleakPkgs are the packages whose goroutines must be joinable or
 // cancellable: the serving daemon (leaked workers shrink the pool until
-// the daemon silently stops serving), the miners' parallel engines, and
-// rlminer's training loop. A goroutine counts as joined when its body —
-// or any function it reaches through the static call graph — touches a
-// sync.WaitGroup.Done, sends on / closes / receives from a channel,
-// ranges over a channel, or selects; any of those gives the spawner a
-// handle to observe or stop it.
+// the daemon silently stops serving), the cluster coordinator (its
+// fan-out goroutines and health checker), the miners' parallel engines,
+// and rlminer's training loop. A goroutine counts as joined when its
+// body — or any function it reaches through the static call graph —
+// touches a sync.WaitGroup.Done, sends on / closes / receives from a
+// channel, ranges over a channel, or selects; any of those gives the
+// spawner a handle to observe or stop it.
 var goroleakPkgs = map[string]bool{
 	"serve":    true,
+	"cluster":  true,
 	"rlminer":  true,
 	"enuminer": true,
 	"measure":  true,
@@ -26,7 +28,7 @@ var goroleakPkgs = map[string]bool{
 // reachable body.
 var GoroLeak = &Check{
 	Name: "goroleak",
-	Doc:  "go statements in serve/rlminer/enuminer/measure must be joined (WaitGroup) or signal a channel",
+	Doc:  "go statements in serve/cluster/rlminer/enuminer/measure must be joined (WaitGroup) or signal a channel",
 	Run:  runGoroLeak,
 }
 

@@ -1,0 +1,656 @@
+package cluster
+
+// The suite stands up real worker daemons (internal/serve servers on
+// httptest listeners) behind a coordinator and pins the subsystem's
+// core contract: whatever the fleet answers is byte-identical to what
+// one single-node erminerd holding the whole batch would have answered
+// — at worker counts 1, 2 and 4, and with a worker killed mid-batch.
+// Health checking is driven explicitly (HealthInterval < 0) so the
+// tests are deterministic.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"erminer/internal/core"
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+	"erminer/internal/rulesio"
+	"erminer/internal/schema"
+	"erminer/internal/serve"
+)
+
+// clusterProblem mirrors the serve suite's district/area → postcode
+// fixture. Every worker (and the single-node reference) gets its own
+// instance: replicas share nothing in-process, exactly like separate
+// daemons.
+func clusterProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	pool := relation.NewPool()
+	attrs := []relation.Attribute{
+		{Name: "district", Domain: "d"},
+		{Name: "area", Domain: "a"},
+		{Name: "postcode", Domain: "p"},
+	}
+	in := relation.NewSchema(attrs...)
+	ms := relation.NewSchema(attrs...)
+	input := relation.New(in, pool)
+	master := relation.New(ms, pool)
+	postcode := map[string]string{"hz": "31200", "bd": "45000", "cz": "52000"}
+	for _, d := range []string{"hz", "bd", "cz"} {
+		for _, a := range []string{"010", "020", "030"} {
+			master.AppendRow([]string{d, a, postcode[d]})
+			input.AppendRow([]string{d, a, postcode[d]})
+		}
+	}
+	input.AppendRow([]string{"hz", "020", ""})
+	match, err := schema.FromNames(in, ms, map[string]string{"district": "district", "area": "area"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Problem{
+		Input: input, Master: master, Match: match,
+		Y: 2, Ym: 2, SupportThreshold: 2, TopK: 10,
+	}
+}
+
+func districtRule() core.MinedRule {
+	return core.MinedRule{
+		Rule:     rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 2, nil),
+		Measures: measure.Measures{Support: 9, Certainty: 1, Quality: 1, Utility: 9.65},
+	}
+}
+
+// districtAreaRule is a second, distinct generation for push tests.
+func districtAreaRule() core.MinedRule {
+	return core.MinedRule{
+		Rule:     rule.New([]rule.AttrPair{{Input: 0, Master: 0}, {Input: 1, Master: 1}}, 2, 2, nil),
+		Measures: measure.Measures{Support: 9, Certainty: 1, Quality: 1, Utility: 9.0},
+	}
+}
+
+// newWorker boots one worker daemon on a live listener, optionally
+// wrapped (chaos / fault injection).
+func newWorker(t *testing.T, wrap func(http.Handler) http.Handler) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(clusterProblem(t), []core.MinedRule{districtRule()}, serve.Config{Role: "worker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		done := make(chan struct{})
+		time.AfterFunc(10*time.Second, func() { close(done) })
+		if err := s.Shutdown(done); err != nil {
+			t.Errorf("worker shutdown: %v", err)
+		}
+	})
+	var h http.Handler = s
+	if wrap != nil {
+		h = wrap(s)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func newFleet(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		_, ts := newWorker(t, nil)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+func newCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = -1 // tests drive checkAll explicitly
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		done := make(chan struct{})
+		time.AfterFunc(10*time.Second, func() { close(done) })
+		if err := c.Shutdown(done); err != nil {
+			t.Errorf("coordinator shutdown: %v", err)
+		}
+	})
+	return c
+}
+
+func do(h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decode(t *testing.T, w *httptest.ResponseRecorder, v any) {
+	t.Helper()
+	if err := json.Unmarshal(w.Body.Bytes(), v); err != nil {
+		t.Fatalf("decoding response %q: %v", w.Body.String(), err)
+	}
+}
+
+// byteBatch is a 12-tuple batch mixing repairs, violations, missing
+// values, an uncovered district, an empty tuple and duplicates, so the
+// partition spreads real work across every worker.
+const byteBatch = `{"tuples": [
+	{"district": "hz", "area": "010", "postcode": "99999"},
+	{"district": "bd", "area": "020"},
+	{"district": "zz", "area": "010", "postcode": "1"},
+	{"district": "cz", "area": "030", "postcode": "52000"},
+	{"district": "hz", "area": "020", "postcode": ""},
+	{"district": "bd", "area": "010", "postcode": "45000"},
+	{},
+	{"district": "cz", "area": "010", "postcode": "11111"},
+	{"district": "hz", "area": "030"},
+	{"district": "bd", "area": "030", "postcode": "22222"},
+	{"district": "cz", "area": "020"},
+	{"district": "hz", "area": "010", "postcode": "99999"}
+]}`
+
+func variants(base string) map[string]string {
+	return map[string]string{
+		"plain":        base,
+		"explain":      strings.Replace(base, `{"tuples"`, `{"explain": true, "tuples"`, 1),
+		"only_missing": strings.Replace(base, `{"tuples"`, `{"only_missing": true, "tuples"`, 1),
+	}
+}
+
+// TestByteIdenticalResponses is the subsystem's acceptance test: for
+// worker counts 1, 2 and 4, the coordinator's merged /v1/repair and
+// /v1/validate responses are byte-for-byte what a single-node daemon
+// answers for the same batch.
+func TestByteIdenticalResponses(t *testing.T) {
+	single, err := serve.New(clusterProblem(t), []core.MinedRule{districtRule()}, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		done := make(chan struct{})
+		time.AfterFunc(10*time.Second, func() { close(done) })
+		//ermvet:ignore errdrop test cleanup; Shutdown errors surface through the failing test itself
+		single.Shutdown(done)
+	}()
+
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c := newCoordinator(t, Config{Workers: newFleet(t, workers)})
+			for _, path := range []string{"/v1/repair", "/v1/validate"} {
+				for name, body := range variants(byteBatch) {
+					want := do(single, "POST", path, body)
+					got := do(c, "POST", path, body)
+					if want.Code != http.StatusOK {
+						t.Fatalf("%s %s: single-node answered %d: %s", path, name, want.Code, want.Body.String())
+					}
+					if got.Code != want.Code {
+						t.Fatalf("%s %s: coordinator answered %d, single-node %d", path, name, got.Code, want.Code)
+					}
+					if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+						t.Errorf("%s %s: merged response is not byte-identical to single-node\ncoordinator: %s\nsingle-node: %s",
+							path, name, got.Body.String(), want.Body.String())
+					}
+				}
+			}
+		})
+	}
+}
+
+// chaosHandler fronts a worker and can be "killed": once dead, every
+// connection is aborted mid-response, which is what a SIGKILLed worker
+// looks like from the coordinator (reset/EOF, then connection refused).
+// The kill trigger is one-shot so a revived worker stays up.
+type chaosHandler struct {
+	inner  http.Handler
+	dead   atomic.Bool
+	armed  atomic.Bool
+	killOn func(*http.Request) bool
+	served atomic.Int64
+}
+
+func (h *chaosHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if h.killOn != nil && h.killOn(r) && h.armed.CompareAndSwap(true, false) {
+		h.dead.Store(true)
+		panic(http.ErrAbortHandler)
+	}
+	h.served.Add(1)
+	h.inner.ServeHTTP(w, r)
+}
+
+// TestChaosWorkerKillMidBatch kills one of two workers on its first
+// repair sub-batch. The coordinator must burn the pinned worker's retry
+// budget, hedge the sub-batch to the survivor, and still produce the
+// byte-identical single-node response; the registry and metrics must
+// show the casualty. Reviving the worker and running a health round
+// restores full fan-out.
+func TestChaosWorkerKillMidBatch(t *testing.T) {
+	single, err := serve.New(clusterProblem(t), []core.MinedRule{districtRule()}, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		done := make(chan struct{})
+		time.AfterFunc(10*time.Second, func() { close(done) })
+		//ermvet:ignore errdrop test cleanup; Shutdown errors surface through the failing test itself
+		single.Shutdown(done)
+	}()
+
+	chaos := &chaosHandler{killOn: func(r *http.Request) bool {
+		return r.Method == http.MethodPost && r.URL.Path == "/v1/repair"
+	}}
+	chaos.armed.Store(true)
+	_, ts0 := newWorker(t, nil)
+	_, ts1 := newWorker(t, func(inner http.Handler) http.Handler {
+		chaos.inner = inner
+		return chaos
+	})
+	c := newCoordinator(t, Config{
+		Workers:      []string{ts0.URL, ts1.URL},
+		Retries:      1,
+		RetryBackoff: 2 * time.Millisecond,
+	})
+
+	want := do(single, "POST", "/v1/repair", byteBatch)
+	got := do(c, "POST", "/v1/repair", byteBatch)
+	if got.Code != http.StatusOK {
+		t.Fatalf("repair with a killed worker answered %d: %s", got.Code, got.Body.String())
+	}
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Errorf("merged response after mid-batch worker kill is not byte-identical\ncoordinator: %s\nsingle-node: %s",
+			got.Body.String(), want.Body.String())
+	}
+	if n := c.metrics.redispatches.Load(); n < 1 {
+		t.Errorf("redispatches = %d, want >= 1 (the killed worker's sub-batch must hedge)", n)
+	}
+	if n := c.metrics.retriesTotal.Load(); n < 1 {
+		t.Errorf("retriesTotal = %d, want >= 1 (the pinned worker gets its retry budget first)", n)
+	}
+	if c.reg.alive(1) {
+		t.Error("worker 1 still marked alive after exhausting its dispatch budget")
+	}
+
+	var health struct {
+		Status         string `json:"status"`
+		WorkersHealthy int    `json:"workers_healthy"`
+	}
+	w := do(c, "GET", "/healthz", "")
+	decode(t, w, &health)
+	if health.Status != "degraded" || health.WorkersHealthy != 1 {
+		t.Errorf("healthz after kill = %+v, want degraded with 1 healthy worker", health)
+	}
+
+	// Revive the worker; the next health round must put it back in the
+	// rotation and fan-out must resume byte-identically.
+	chaos.dead.Store(false)
+	c.checkAll()
+	if !c.reg.alive(1) {
+		t.Fatal("worker 1 not marked alive after revival health round")
+	}
+	before := chaos.served.Load()
+	got = do(c, "POST", "/v1/repair", byteBatch)
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Error("merged response after worker revival is not byte-identical to single-node")
+	}
+	if chaos.served.Load() == before {
+		t.Error("revived worker served no sub-batch; fan-out did not resume")
+	}
+}
+
+// TestTwoPhaseRulePush pins the replication contract: one PUT on the
+// coordinator stages and activates the same generation on every worker,
+// leaving zero generation skew, and the fleet then serves under the new
+// generation byte-identically to a single node holding it.
+func TestTwoPhaseRulePush(t *testing.T) {
+	urls := newFleet(t, 2)
+	c := newCoordinator(t, Config{Workers: urls, RetryBackoff: 2 * time.Millisecond})
+
+	data, err := rulesio.Export(clusterProblem(t), []core.MinedRule{districtRule(), districtAreaRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(c, "PUT", "/v1/rules", string(data))
+	if w.Code != http.StatusOK {
+		t.Fatalf("PUT /v1/rules: %d: %s", w.Code, w.Body.String())
+	}
+	var put struct {
+		Version int64  `json:"version"`
+		Count   int    `json:"count"`
+		ETag    string `json:"etag"`
+	}
+	decode(t, w, &put)
+	if put.Count != 2 || put.Version != 2 || !strings.HasPrefix(put.ETag, "sha256:") {
+		t.Fatalf("push answered %+v, want count=2 version=2 and a sha256 etag", put)
+	}
+
+	// Every worker must now serve exactly that generation.
+	for i, u := range urls {
+		resp, err := http.Get(u + "/v1/rules")
+		if err != nil {
+			t.Fatal(err)
+		}
+		etag := resp.Header.Get("ETag")
+		//ermvet:ignore errdrop test teardown of a fully-read response body
+		resp.Body.Close()
+		if etag != `"`+put.ETag+`"` {
+			t.Errorf("worker %d serves ETag %s, want %q", i, etag, put.ETag)
+		}
+	}
+	c.checkAll()
+	if skew := c.reg.generationSkew(); skew != 1 {
+		t.Errorf("generation skew after push = %d, want 1", skew)
+	}
+
+	// The fleet under the new generation still matches a single node
+	// under the same generation.
+	single, err := serve.New(clusterProblem(t), []core.MinedRule{districtRule()}, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		done := make(chan struct{})
+		time.AfterFunc(10*time.Second, func() { close(done) })
+		//ermvet:ignore errdrop test cleanup; Shutdown errors surface through the failing test itself
+		single.Shutdown(done)
+	}()
+	if _, _, err := single.SwapRules(data); err != nil {
+		t.Fatal(err)
+	}
+	want := do(single, "POST", "/v1/repair", byteBatch)
+	got := do(c, "POST", "/v1/repair", byteBatch)
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Errorf("post-push merged response is not byte-identical\ncoordinator: %s\nsingle-node: %s",
+			got.Body.String(), want.Body.String())
+	}
+}
+
+// TestStageFailureAbortsPush wedges phase one on one worker and checks
+// the push fails without ANY worker activating: the healthy worker that
+// staged successfully must keep serving the old generation.
+func TestStageFailureAbortsPush(t *testing.T) {
+	_, ts0 := newWorker(t, nil)
+	_, ts1 := newWorker(t, func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/rules/stage" {
+				http.Error(w, `{"error":"disk full"}`, http.StatusServiceUnavailable)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})
+	})
+	c := newCoordinator(t, Config{
+		Workers:      []string{ts0.URL, ts1.URL},
+		Retries:      1,
+		RetryBackoff: 2 * time.Millisecond,
+	})
+
+	resp, err := http.Get(ts0.URL + "/v1/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldETag := resp.Header.Get("ETag")
+	//ermvet:ignore errdrop test teardown of a fully-read response body
+	resp.Body.Close()
+
+	data, err := rulesio.Export(clusterProblem(t), []core.MinedRule{districtRule(), districtAreaRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(c, "PUT", "/v1/rules", string(data))
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("PUT with a wedged stage answered %d, want 502: %s", w.Code, w.Body.String())
+	}
+	if n := c.metrics.rulePushes.Load(); n != 0 {
+		t.Errorf("rulePushes = %d after an aborted push, want 0", n)
+	}
+
+	resp, err = http.Get(ts0.URL + "/v1/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newETag := resp.Header.Get("ETag")
+	//ermvet:ignore errdrop test teardown of a fully-read response body
+	resp.Body.Close()
+	if newETag != oldETag {
+		t.Errorf("healthy worker's generation moved from %s to %s despite the aborted push", oldETag, newETag)
+	}
+}
+
+// TestBadRulesFileRelays400 pins the passthrough path: a rules file the
+// workers reject 400s straight through the coordinator, and nothing
+// activates.
+func TestBadRulesFileRelays400(t *testing.T) {
+	c := newCoordinator(t, Config{Workers: newFleet(t, 2), RetryBackoff: 2 * time.Millisecond})
+	w := do(c, "PUT", "/v1/rules", `{"not": "a rules file"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("PUT with garbage answered %d, want the workers' 400 relayed: %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "error") {
+		t.Errorf("relayed 400 body %q is not the worker's error shape", w.Body.String())
+	}
+}
+
+// TestGenerationSkewDetection drives one worker's generation ahead
+// behind the coordinator's back and checks the health round reports the
+// skew, and that a mixed-generation batch fails loudly rather than
+// merging rows evaluated under different rule sets.
+func TestGenerationSkewDetection(t *testing.T) {
+	urls := newFleet(t, 2)
+	c := newCoordinator(t, Config{Workers: urls, Retries: -1, RetryBackoff: 2 * time.Millisecond})
+	c.checkAll()
+	if skew := c.reg.generationSkew(); skew != 1 {
+		t.Fatalf("initial generation skew = %d, want 1", skew)
+	}
+
+	data, err := rulesio.Export(clusterProblem(t), []core.MinedRule{districtRule(), districtAreaRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, urls[1]+"/v1/rules", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//ermvet:ignore errdrop test teardown of a fully-read response body
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct worker push answered %d", resp.StatusCode)
+	}
+
+	c.checkAll()
+	if skew := c.reg.generationSkew(); skew != 2 {
+		t.Errorf("generation skew after side push = %d, want 2", skew)
+	}
+	var health struct {
+		GenerationSkew int `json:"generation_skew"`
+	}
+	decode(t, do(c, "GET", "/healthz", ""), &health)
+	if health.GenerationSkew != 2 {
+		t.Errorf("healthz generation_skew = %d, want 2", health.GenerationSkew)
+	}
+	if !strings.Contains(do(c, "GET", "/metrics", "").Body.String(), "ermcluster_generation_skew 2") {
+		t.Error("metrics missing ermcluster_generation_skew 2")
+	}
+
+	// A batch whose sub-batches land on both workers now mixes rule
+	// generations; the merge must refuse.
+	w := do(c, "POST", "/v1/repair", byteBatch)
+	if w.Code != http.StatusBadGateway {
+		t.Errorf("mixed-generation batch answered %d, want 502: %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "different rule generations") {
+		t.Errorf("mixed-generation error body %q does not name the cause", w.Body.String())
+	}
+}
+
+// TestPartitionDeterminism pins the shard function: stable across calls
+// (map iteration order must not leak in), full coverage, and sub-batch
+// relative order preserving input order.
+func TestPartitionDeterminism(t *testing.T) {
+	tuples := make([]map[string]string, 50)
+	for i := range tuples {
+		tuples[i] = map[string]string{
+			"district": fmt.Sprintf("d%d", i%7),
+			"area":     fmt.Sprintf("a%d", i%11),
+			"postcode": fmt.Sprintf("%d", i),
+		}
+	}
+	for _, n := range []int{1, 2, 4, 7} {
+		first := partition(tuples, n)
+		for round := 0; round < 5; round++ {
+			again := partition(tuples, n)
+			for w := range first {
+				if fmt.Sprint(again[w]) != fmt.Sprint(first[w]) {
+					t.Fatalf("n=%d: partition is not deterministic: %v vs %v", n, first[w], again[w])
+				}
+			}
+		}
+		seen := make(map[int]bool)
+		for _, part := range first {
+			last := -1
+			for _, idx := range part {
+				if idx <= last {
+					t.Fatalf("n=%d: sub-batch %v does not preserve input order", n, part)
+				}
+				last = idx
+				if seen[idx] {
+					t.Fatalf("n=%d: tuple %d assigned twice", n, idx)
+				}
+				seen[idx] = true
+			}
+		}
+		if len(seen) != len(tuples) {
+			t.Fatalf("n=%d: partition covered %d of %d tuples", n, len(seen), len(tuples))
+		}
+	}
+}
+
+// TestCoordinatorRequestValidation pins the coordinator-side 400s,
+// which must be indistinguishable from a worker's.
+func TestCoordinatorRequestValidation(t *testing.T) {
+	c := newCoordinator(t, Config{Workers: newFleet(t, 1), MaxBatch: 2})
+	for _, tc := range []struct {
+		body, wantErr string
+	}{
+		{`{"tuples": []}`, "empty tuple batch"},
+		{`{"tuples": [{}, {}, {}]}`, "batch of 3 tuples exceeds the 2 limit"},
+		{`{"tuples": [{}], "bogus": 1}`, "bad request body"},
+		{`not json`, "bad request body"},
+	} {
+		w := do(c, "POST", "/v1/repair", tc.body)
+		if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), tc.wantErr) {
+			t.Errorf("body %q answered %d %q, want 400 containing %q", tc.body, w.Code, w.Body.String(), tc.wantErr)
+		}
+	}
+}
+
+func TestNewRejectsBadFleets(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with no workers succeeded")
+	}
+	if _, err := New(Config{Workers: []string{"not a url"}, HealthInterval: -1}); err == nil {
+		t.Error("New with a relative worker URL succeeded")
+	}
+}
+
+// TestRulesGetProxies checks GET /v1/rules relays a healthy worker's
+// body and generation headers.
+func TestRulesGetProxies(t *testing.T) {
+	urls := newFleet(t, 2)
+	c := newCoordinator(t, Config{Workers: urls})
+	resp, err := http.Get(urls[0] + "/v1/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBody bytes.Buffer
+	if _, err := wantBody.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	wantETag := resp.Header.Get("ETag")
+	//ermvet:ignore errdrop test teardown of a fully-read response body
+	resp.Body.Close()
+
+	w := do(c, "GET", "/v1/rules", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/rules: %d: %s", w.Code, w.Body.String())
+	}
+	if !bytes.Equal(w.Body.Bytes(), wantBody.Bytes()) {
+		t.Error("proxied rule set differs from the worker's")
+	}
+	if w.Header().Get("ETag") != wantETag {
+		t.Errorf("proxied ETag %q, want %q", w.Header().Get("ETag"), wantETag)
+	}
+}
+
+// TestShutdownDrains checks Shutdown stops the health loop and flips
+// the API to 503.
+func TestShutdownDrains(t *testing.T) {
+	c, err := New(Config{Workers: newFleet(t, 1), HealthInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	time.AfterFunc(10*time.Second, func() { close(done) })
+	if err := c.Shutdown(done); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if w := do(c, "POST", "/v1/repair", byteBatch); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("repair after Shutdown answered %d, want 503", w.Code)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	w := do(c, "GET", "/healthz", "")
+	decode(t, w, &health)
+	if w.Code != http.StatusServiceUnavailable || health.Status != "shutting_down" {
+		t.Errorf("healthz after Shutdown = %d %q, want 503 shutting_down", w.Code, health.Status)
+	}
+	// Second Shutdown is a no-op, not a double-close panic.
+	if err := c.Shutdown(done); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+// TestMetricsShape scrapes the coordinator after traffic and checks the
+// ermcluster_ surface is present and counting.
+func TestMetricsShape(t *testing.T) {
+	c := newCoordinator(t, Config{Workers: newFleet(t, 2)})
+	do(c, "POST", "/v1/repair", byteBatch)
+	do(c, "POST", "/v1/validate", byteBatch)
+	body := do(c, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		"ermcluster_requests_total ",
+		"ermcluster_requests_in_flight_repair 0",
+		"ermcluster_requests_in_flight_validate 0",
+		"ermcluster_tuples_total 24",
+		"ermcluster_workers_total 2",
+		"ermcluster_workers_healthy 2",
+		"ermcluster_subbatches_total ",
+		"ermcluster_redispatches_total 0",
+		"ermcluster_rule_pushes_total 0",
+		"ermcluster_repair_latency_count 2",
+		"ermcluster_repair_latency_p50_ms ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// passthrough is a worker's non-retryable (4xx) answer, relayed to the
+// client verbatim: the worker already produced the canonical error body
+// and second-guessing it would fork the error wire format.
+type passthrough struct {
+	status int
+	body   []byte
+}
+
+func (p *passthrough) Error() string {
+	return fmt.Sprintf("worker answered HTTP %d: %s", p.status, bytes.TrimSpace(p.body))
+}
+
+// retryableStatus reports whether a worker status code is worth another
+// attempt: transient server-side states (5xx, including the bounded
+// queue's 503/504) and queue rejection (429). 4xx semantics are the
+// request's own fault and retrying cannot change them.
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// dispatch sends one sub-batch to its pinned worker, retrying with
+// exponential backoff, then hedges across the remaining healthy workers
+// in ring order. It returns the successful worker's raw response bytes
+// (or a *passthrough for a 4xx answer, which the caller relays).
+func (c *Coordinator) dispatch(ctx context.Context, path string, body []byte, pinned int) ([]byte, error) {
+	backoff := c.cfg.retryBackoff()
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.retries(); attempt++ {
+		if attempt > 0 {
+			c.metrics.retriesTotal.Add(1)
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, err
+			}
+			backoff *= 2
+		}
+		data, err := c.tryWorker(ctx, pinned, path, body)
+		if err == nil {
+			return data, nil
+		}
+		if pt, ok := err.(*passthrough); ok && !retryableStatus(pt.status) {
+			return nil, pt
+		}
+		lastErr = err
+	}
+
+	// The pinned worker is out of budget: mark it down and hedge the
+	// sub-batch across the rest of the fleet. One attempt per healthy
+	// peer — the retry budget was the pinned worker's; a peer that also
+	// fails is likely sharing its fate (network partition, bad push) and
+	// burning backoff on it only delays the client's error.
+	c.reg.markDead(pinned, lastErr)
+	c.metrics.workerFailures.Add(1)
+	n := len(c.workers)
+	for off := 1; off < n; off++ {
+		j := (pinned + off) % n
+		if !c.reg.alive(j) {
+			continue
+		}
+		c.metrics.redispatches.Add(1)
+		data, err := c.tryWorker(ctx, j, path, body)
+		if err == nil {
+			return data, nil
+		}
+		if pt, ok := err.(*passthrough); ok && !retryableStatus(pt.status) {
+			return nil, pt
+		}
+		c.reg.markDead(j, err)
+		c.metrics.workerFailures.Add(1)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("all workers failed for %s sub-batch pinned to worker %d: %w", path, pinned, lastErr)
+}
+
+// tryWorker makes one POST attempt against one worker, bounded by the
+// per-worker timeout. A non-200 answer comes back as *passthrough so
+// the caller can distinguish retryable statuses from client errors.
+func (c *Coordinator) tryWorker(ctx context.Context, i int, path string, body []byte) ([]byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.perWorkerTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.workers[i]+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	//ermvet:ignore errdrop nothing to do about a close error after the body is fully read
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &passthrough{status: resp.StatusCode, body: data}
+	}
+	return data, nil
+}
+
+// sleepCtx is a context-aware backoff sleep.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,501 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"erminer/internal/serve"
+)
+
+func (c *Coordinator) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/repair", c.handleRepair)
+	mux.HandleFunc("POST /v1/validate", c.handleValidate)
+	mux.HandleFunc("GET /v1/rules", c.handleRulesGet)
+	mux.HandleFunc("PUT /v1/rules", c.handleRulesPut)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux = mux
+}
+
+// httpError and writeJSON duplicate the worker daemon's encoders on
+// purpose: byte-identity with single-node responses holds only if both
+// roles serialize the same way (json.Encoder, trailing newline).
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//ermvet:ignore errdrop a failed response write means the client is gone; there is no one to tell
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//ermvet:ignore errdrop a failed response write means the client is gone; there is no one to tell
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeBatch mirrors the worker's strict request decoding — identical
+// limits and identical error strings, so a client cannot tell a
+// coordinator's 400 from a worker's.
+func (c *Coordinator) decodeBatch(w http.ResponseWriter, r *http.Request, req *serve.TupleBatch) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.maxBody()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", errors.New("trailing data after JSON body"))
+		return false
+	}
+	if len(req.Tuples) == 0 {
+		httpError(w, http.StatusBadRequest, "empty tuple batch")
+		return false
+	}
+	if len(req.Tuples) > c.cfg.maxBatch() {
+		httpError(w, http.StatusBadRequest, "batch of %d tuples exceeds the %d limit", len(req.Tuples), c.cfg.maxBatch())
+		return false
+	}
+	return true
+}
+
+// fanout partitions the batch, dispatches every non-empty sub-batch
+// concurrently, and returns the per-worker raw response bytes (nil for
+// workers that drew no tuples). On failure it writes the HTTP error —
+// relaying the lowest-indexed worker's 4xx verbatim when the fault is
+// the request's — and returns ok=false.
+func (c *Coordinator) fanout(ctx context.Context, w http.ResponseWriter, path string, req serve.TupleBatch, parts [][]int) ([][]byte, bool) {
+	n := len(c.workers)
+	data := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		sub := serve.TupleBatch{
+			Tuples:      make([]map[string]string, len(parts[i])),
+			OnlyMissing: req.OnlyMissing,
+			Explain:     req.Explain,
+		}
+		for k, idx := range parts[i] {
+			sub.Tuples[k] = req.Tuples[idx]
+		}
+		body, err := json.Marshal(sub)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding sub-batch: %v", err)
+			return nil, false
+		}
+		c.metrics.subbatchesTotal.Add(1)
+		wg.Add(1)
+		go func(i int, body []byte) {
+			defer wg.Done()
+			data[i], errs[i] = c.dispatch(ctx, path, body, i)
+		}(i, body)
+	}
+	wg.Wait()
+	// A non-retryable 4xx from any worker wins (the request itself is
+	// bad, lowest worker index for determinism); retryable statuses that
+	// survived the whole dispatch budget, like any transport failure,
+	// become a 502.
+	for _, err := range errs {
+		var pt *passthrough
+		if errors.As(err, &pt) && !retryableStatus(pt.status) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(pt.status)
+			//ermvet:ignore errdrop a failed response write means the client is gone; there is no one to tell
+			w.Write(pt.body)
+			return nil, false
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			httpError(w, http.StatusBadGateway, "sub-batch for worker %d failed: %v", i, err)
+			return nil, false
+		}
+	}
+	return data, true
+}
+
+// sameVersion verifies every contributing sub-response was evaluated
+// under one rule generation. Mixed generations cannot be merged into a
+// response claiming a single rules_version — that is exactly the skew
+// the two-phase push exists to prevent — so the batch fails loudly.
+func sameVersion(versions []int64, have []bool) (int64, error) {
+	version := int64(-1)
+	for i, v := range versions {
+		if !have[i] {
+			continue
+		}
+		if version == -1 {
+			version = v
+		} else if v != version {
+			return 0, fmt.Errorf("workers answered under different rule generations (%d vs %d); retry after the rule push settles", version, v)
+		}
+	}
+	return version, nil
+}
+
+func (c *Coordinator) handleRepair(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	c.metrics.inFlightRepair.Add(1)
+	defer c.metrics.inFlightRepair.Add(-1)
+	defer func() { c.metrics.observeLatency(time.Since(start)) }()
+	if c.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	var req serve.TupleBatch
+	if !c.decodeBatch(w, r, &req) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.requestTimeout())
+	defer cancel()
+	c.metrics.tuplesSeen.Add(int64(len(req.Tuples)))
+
+	parts := partition(req.Tuples, len(c.workers))
+	data, ok := c.fanout(ctx, w, "/v1/repair", req, parts)
+	if !ok {
+		return
+	}
+
+	// Merge in canonical input order: tuple i of the request is tuple k
+	// of its worker's sub-batch, where parts[w][k] == i. Fix rows are
+	// renumbered from sub-batch coordinates back to batch coordinates.
+	resp := serve.RepairResponse{
+		Tuples: make([]map[string]string, len(req.Tuples)),
+		Fixes:  []serve.FixJSON{},
+	}
+	versions := make([]int64, len(c.workers))
+	have := make([]bool, len(c.workers))
+	for i, raw := range data {
+		if raw == nil {
+			continue
+		}
+		var sr serve.RepairResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			httpError(w, http.StatusBadGateway, "decoding worker %d response: %v", i, err)
+			return
+		}
+		if len(sr.Tuples) != len(parts[i]) {
+			httpError(w, http.StatusBadGateway, "worker %d answered %d tuples for a %d-tuple sub-batch", i, len(sr.Tuples), len(parts[i]))
+			return
+		}
+		versions[i], have[i] = sr.RulesVersion, true
+		for k, idx := range parts[i] {
+			resp.Tuples[idx] = sr.Tuples[k]
+		}
+		for _, f := range sr.Fixes {
+			f.Row = parts[i][f.Row]
+			resp.Fixes = append(resp.Fixes, f)
+		}
+		resp.Covered += sr.Covered
+		resp.Changed += sr.Changed
+	}
+	version, err := sameVersion(versions, have)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	resp.RulesVersion = version
+	sort.Slice(resp.Fixes, func(i, j int) bool { return resp.Fixes[i].Row < resp.Fixes[j].Row })
+	c.metrics.repairsApplied.Add(int64(resp.Changed))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleValidate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	c.metrics.inFlightValidate.Add(1)
+	defer c.metrics.inFlightValidate.Add(-1)
+	defer func() { c.metrics.observeLatency(time.Since(start)) }()
+	if c.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	var req serve.TupleBatch
+	if !c.decodeBatch(w, r, &req) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.requestTimeout())
+	defer cancel()
+	c.metrics.tuplesSeen.Add(int64(len(req.Tuples)))
+
+	parts := partition(req.Tuples, len(c.workers))
+	data, ok := c.fanout(ctx, w, "/v1/validate", req, parts)
+	if !ok {
+		return
+	}
+
+	resp := serve.ValidateResponse{Results: make([]serve.ValidationJSON, len(req.Tuples))}
+	versions := make([]int64, len(c.workers))
+	have := make([]bool, len(c.workers))
+	for i, raw := range data {
+		if raw == nil {
+			continue
+		}
+		var sr serve.ValidateResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			httpError(w, http.StatusBadGateway, "decoding worker %d response: %v", i, err)
+			return
+		}
+		if len(sr.Results) != len(parts[i]) {
+			httpError(w, http.StatusBadGateway, "worker %d answered %d results for a %d-tuple sub-batch", i, len(sr.Results), len(parts[i]))
+			return
+		}
+		versions[i], have[i] = sr.RulesVersion, true
+		for k, idx := range parts[i] {
+			v := sr.Results[k]
+			v.Row = idx
+			resp.Results[idx] = v
+		}
+		resp.Violations += sr.Violations
+		resp.Missing += sr.Missing
+		resp.Uncovered += sr.Uncovered
+	}
+	version, err := sameVersion(versions, have)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	resp.RulesVersion = version
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// stageResult is a worker's answer to POST /v1/rules/stage.
+type stageResult struct {
+	ETag  string `json:"etag"`
+	Count int    `json:"count"`
+}
+
+// activateResult is a worker's answer to POST /v1/rules/activate.
+type activateResult struct {
+	Version int64  `json:"version"`
+	Count   int    `json:"count"`
+	ETag    string `json:"etag"`
+}
+
+// handleRulesPut replicates a rule-set generation to the whole fleet in
+// two phases. Phase 1 stages the wire-format file on every worker; each
+// answers the generation's content hash, which must agree everywhere
+// (the hash is computed over the canonical re-export, so agreement
+// means every worker parsed the same semantic rule set). Phase 2 tells
+// every worker to activate exactly that hash. Any phase-1 failure
+// aborts before a single worker has activated, leaving the old
+// generation serving everywhere.
+func (c *Coordinator) handleRulesPut(w http.ResponseWriter, r *http.Request) {
+	if c.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.maxBody()))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.requestTimeout())
+	defer cancel()
+
+	// Phase 1: stage everywhere. No hedging — a stage must land on the
+	// very worker it targets, there is no substitute.
+	staged, err := c.pushAll(ctx, "/v1/rules/stage", body)
+	if err != nil {
+		c.relayPushError(w, "staging rules", err)
+		return
+	}
+	etag, count := "", 0
+	for i, raw := range staged {
+		var sr stageResult
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			httpError(w, http.StatusBadGateway, "decoding worker %d stage response: %v", i, err)
+			return
+		}
+		if i == 0 {
+			etag, count = sr.ETag, sr.Count
+		} else if sr.ETag != etag {
+			httpError(w, http.StatusBadGateway, "workers staged different generations (%s vs %s); no activation was attempted", etag, sr.ETag)
+			return
+		}
+	}
+
+	// Phase 2: activate the agreed generation everywhere.
+	actBody, err := json.Marshal(map[string]string{"etag": etag})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding activate request: %v", err)
+		return
+	}
+	activated, err := c.pushAll(ctx, "/v1/rules/activate", actBody)
+	if err != nil {
+		c.relayPushError(w, "activating rules", err)
+		return
+	}
+	version := int64(0)
+	for i, raw := range activated {
+		var ar activateResult
+		if err := json.Unmarshal(raw, &ar); err != nil {
+			httpError(w, http.StatusBadGateway, "decoding worker %d activate response: %v", i, err)
+			return
+		}
+		c.reg.markAlive(i, ar.ETag, ar.Version)
+		if ar.Version > version {
+			version = ar.Version
+		}
+	}
+	c.lastETag, c.lastCount = etag, count
+	c.generation.Add(1)
+	c.metrics.rulePushes.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"version": version, "count": count, "etag": etag})
+}
+
+// pushAll posts one body to every worker concurrently (with the
+// dispatch path's per-attempt timeout and retry budget, but no
+// cross-worker hedging) and returns all responses, or the
+// lowest-indexed error.
+func (c *Coordinator) pushAll(ctx context.Context, path string, body []byte) ([][]byte, error) {
+	n := len(c.workers)
+	data := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data[i], errs[i] = c.postWithRetry(ctx, i, path, body)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("worker %d (%s): %w", i, c.workers[i], err)
+		}
+	}
+	return data, nil
+}
+
+// postWithRetry is the single-worker analogue of dispatch: bounded
+// retries with backoff on the one target, no failover.
+func (c *Coordinator) postWithRetry(ctx context.Context, i int, path string, body []byte) ([]byte, error) {
+	backoff := c.cfg.retryBackoff()
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.retries(); attempt++ {
+		if attempt > 0 {
+			c.metrics.retriesTotal.Add(1)
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, err
+			}
+			backoff *= 2
+		}
+		data, err := c.tryWorker(ctx, i, path, body)
+		if err == nil {
+			return data, nil
+		}
+		if pt, ok := err.(*passthrough); ok && !retryableStatus(pt.status) {
+			return nil, pt
+		}
+		lastErr = err
+	}
+	c.reg.markDead(i, lastErr)
+	c.metrics.workerFailures.Add(1)
+	return nil, lastErr
+}
+
+// relayPushError maps a push failure onto the client: a worker's
+// non-retryable 4xx (bad rules file, stale etag) is relayed verbatim;
+// anything else — transport failures and retryable statuses that
+// outlived the retry budget — is a 502 naming the failing phase.
+func (c *Coordinator) relayPushError(w http.ResponseWriter, phase string, err error) {
+	var pt *passthrough
+	if errors.As(err, &pt) && !retryableStatus(pt.status) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(pt.status)
+		//ermvet:ignore errdrop a failed response write means the client is gone; there is no one to tell
+		w.Write(pt.body)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "%s: %v", phase, err)
+}
+
+// handleRulesGet proxies the active rule set from the first healthy
+// worker, preserving the generation headers so clients (and operators
+// debugging skew) see exactly what that worker serves.
+func (c *Coordinator) handleRulesGet(w http.ResponseWriter, r *http.Request) {
+	for i := range c.workers {
+		if !c.reg.alive(i) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.perWorkerTimeout())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.workers[i]+"/v1/rules", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			cancel()
+			c.reg.markDead(i, err)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		//ermvet:ignore errdrop nothing to do about a close error after the body is fully read
+		resp.Body.Close()
+		cancel()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		if v := resp.Header.Get("X-Rules-Version"); v != "" {
+			w.Header().Set("X-Rules-Version", v)
+		}
+		if v := resp.Header.Get("ETag"); v != "" {
+			w.Header().Set("ETag", v)
+		}
+		//ermvet:ignore errdrop a failed response write means the client is gone; there is no one to tell
+		w.Write(body)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "no healthy worker to serve the rule set")
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	workers := c.reg.snapshot()
+	healthy := 0
+	for _, s := range workers {
+		if s.Alive {
+			healthy++
+		}
+	}
+	skew := c.reg.generationSkew()
+	status, code := "ok", http.StatusOK
+	switch {
+	case c.closed.Load():
+		status, code = "shutting_down", http.StatusServiceUnavailable
+	case healthy == 0:
+		status, code = "unavailable", http.StatusServiceUnavailable
+	case healthy < len(workers):
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":          status,
+		"role":            "coordinator",
+		"workers":         workers,
+		"workers_total":   len(workers),
+		"workers_healthy": healthy,
+		"generation_skew": skew,
+		"rule_pushes":     c.generation.Load(),
+		"uptime_seconds":  int64(time.Since(c.metrics.start).Seconds()),
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	c.metrics.write(w, c.reg.healthyCount(), c.reg.generationSkew(), c.generation.Load())
+}

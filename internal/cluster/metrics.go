@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow mirrors the single-node daemon's percentile ring: a
+// fixed window bounds memory, p50/p99 computed at scrape time.
+const latencyWindow = 1024
+
+// metrics holds the coordinator's counters, exported under the
+// ermcluster_ prefix in the same flat `name value` text format as the
+// workers' erminerd_ metrics, so one scraper config covers both roles.
+type metrics struct {
+	start        time.Time
+	workersTotal int
+
+	requestsTotal    atomic.Int64 // every HTTP request received
+	inFlightRepair   atomic.Int64 // POST /v1/repair requests inside the handler
+	inFlightValidate atomic.Int64 // POST /v1/validate requests inside the handler
+	tuplesSeen       atomic.Int64 // tuples received across repair+validate
+	repairsApplied   atomic.Int64 // cells changed across the merged responses
+	subbatchesTotal  atomic.Int64 // sub-batches dispatched to workers
+	retriesTotal     atomic.Int64 // same-worker retry attempts
+	redispatches     atomic.Int64 // sub-batches hedged to a different worker
+	workerFailures   atomic.Int64 // workers marked dead by the dispatch path
+	rulePushes       atomic.Int64 // successful two-phase rule pushes
+	healthChecks     atomic.Int64 // completed health-check rounds
+
+	latMu sync.Mutex
+	lat   [latencyWindow]float64 // guarded by latMu; milliseconds
+	latN  int64                  // guarded by latMu; total observations
+}
+
+func newMetrics(workers int) *metrics {
+	return &metrics{start: time.Now(), workersTotal: workers}
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.latMu.Lock()
+	m.lat[m.latN%latencyWindow] = ms
+	m.latN++
+	m.latMu.Unlock()
+}
+
+func (m *metrics) percentiles() (p50, p99 float64, total int64) {
+	m.latMu.Lock()
+	total = m.latN
+	n := m.latN
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	buf := make([]float64, n)
+	copy(buf, m.lat[:n])
+	m.latMu.Unlock()
+	if n == 0 {
+		return 0, 0, total
+	}
+	sort.Float64s(buf)
+	rank := func(q float64) float64 {
+		i := int(q*float64(n-1) + 0.5)
+		return buf[i]
+	}
+	return rank(0.50), rank(0.99), total
+}
+
+func (m *metrics) write(w io.Writer, healthy, skew int, generation int64) {
+	p50, p99, latCount := m.percentiles()
+	fmt.Fprintf(w, "ermcluster_uptime_seconds %.0f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "ermcluster_requests_total %d\n", m.requestsTotal.Load())
+	fmt.Fprintf(w, "ermcluster_requests_in_flight_repair %d\n", m.inFlightRepair.Load())
+	fmt.Fprintf(w, "ermcluster_requests_in_flight_validate %d\n", m.inFlightValidate.Load())
+	fmt.Fprintf(w, "ermcluster_tuples_total %d\n", m.tuplesSeen.Load())
+	fmt.Fprintf(w, "ermcluster_repairs_applied_total %d\n", m.repairsApplied.Load())
+	fmt.Fprintf(w, "ermcluster_workers_total %d\n", m.workersTotal)
+	fmt.Fprintf(w, "ermcluster_workers_healthy %d\n", healthy)
+	fmt.Fprintf(w, "ermcluster_generation_skew %d\n", skew)
+	fmt.Fprintf(w, "ermcluster_subbatches_total %d\n", m.subbatchesTotal.Load())
+	fmt.Fprintf(w, "ermcluster_retries_total %d\n", m.retriesTotal.Load())
+	fmt.Fprintf(w, "ermcluster_redispatches_total %d\n", m.redispatches.Load())
+	fmt.Fprintf(w, "ermcluster_worker_failures_total %d\n", m.workerFailures.Load())
+	fmt.Fprintf(w, "ermcluster_rule_pushes_total %d\n", m.rulePushes.Load())
+	fmt.Fprintf(w, "ermcluster_rules_generation %d\n", generation)
+	fmt.Fprintf(w, "ermcluster_health_checks_total %d\n", m.healthChecks.Load())
+	// As on the workers: every outcome is counted, so the percentiles can
+	// be read against the true request population.
+	fmt.Fprintf(w, "ermcluster_repair_latency_count %d\n", latCount)
+	fmt.Fprintf(w, "ermcluster_repair_latency_p50_ms %.3f\n", p50)
+	fmt.Fprintf(w, "ermcluster_repair_latency_p99_ms %.3f\n", p99)
+}

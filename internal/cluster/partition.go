@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// shardOf pins a tuple to a worker by FNV-1a over its column=value
+// pairs in sorted column order. Content hashing (rather than position
+// in the batch) keeps a tuple's worker affinity stable across batches,
+// so a worker's serving dictionary and index-cache working set stay
+// warm for "its" slice of the key space. Keys are sorted first because
+// Go map iteration order is random and the shard must be a pure
+// function of the tuple's contents.
+func shardOf(t map[string]string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		// The \x00/\x01 separators keep ("ab","c") and ("a","bc")
+		// from colliding into one hash stream.
+		//ermvet:ignore errdrop fnv's Write is documented to never fail
+		h.Write([]byte(k))
+		//ermvet:ignore errdrop fnv's Write is documented to never fail
+		h.Write([]byte{0})
+		//ermvet:ignore errdrop fnv's Write is documented to never fail
+		h.Write([]byte(t[k]))
+		//ermvet:ignore errdrop fnv's Write is documented to never fail
+		h.Write([]byte{1})
+	}
+	return int(h.Sum64() % uint64(n))
+}
+
+// partition maps a batch onto n workers, returning for each worker the
+// original indices of its tuples, in input order. Sub-batches preserve
+// relative input order, so a worker's k-th result row maps back to
+// idx[k] during the merge.
+func partition(tuples []map[string]string, n int) [][]int {
+	parts := make([][]int, n)
+	for i, t := range tuples {
+		w := shardOf(t, n)
+		parts[w] = append(parts[w], i)
+	}
+	return parts
+}

@@ -21,6 +21,8 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	mux.HandleFunc("GET /v1/rules", s.handleRulesGet)
 	mux.HandleFunc("PUT /v1/rules", s.handleRulesPut)
+	mux.HandleFunc("POST /v1/rules/stage", s.handleRulesStage)
+	mux.HandleFunc("POST /v1/rules/activate", s.handleRulesActivate)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobsPost)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobsGet)
@@ -57,10 +59,13 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
-// tupleBatch is the common request shape of /v1/repair and /v1/validate:
+// TupleBatch is the common request shape of /v1/repair and /v1/validate:
 // a batch of tuples as column-name → value maps. Absent columns are
-// treated as missing (Null).
-type tupleBatch struct {
+// treated as missing (Null). It is exported (with the response types
+// below) so the ermcluster coordinator speaks exactly this wire shape
+// when fanning out sub-batches — byte-identical merged responses
+// require one definition, not a parallel copy that can drift.
+type TupleBatch struct {
 	Tuples []map[string]string `json:"tuples"`
 	// OnlyMissing restricts repair to Null cells (imputation mode).
 	OnlyMissing bool `json:"only_missing,omitempty"`
@@ -114,8 +119,8 @@ func (s *Server) runRules(ctx context.Context, rel *relation.Relation, rs *ruleS
 	return ev, res, err
 }
 
-// fixJSON is one repaired cell with its justification.
-type fixJSON struct {
+// FixJSON is one repaired cell with its justification.
+type FixJSON struct {
 	Row   int     `json:"row"`
 	Attr  string  `json:"attr"`
 	Old   string  `json:"old"`
@@ -124,23 +129,23 @@ type fixJSON struct {
 	// Rules lists the covering rules that contributed candidates.
 	Rules []string `json:"rules,omitempty"`
 	// Evidence carries each rule's candidate histogram (explain=true).
-	Evidence []evidenceJSON `json:"evidence,omitempty"`
+	Evidence []EvidenceJSON `json:"evidence,omitempty"`
 }
 
-type evidenceJSON struct {
+type EvidenceJSON struct {
 	Rule       string          `json:"rule"`
-	Candidates []candidateJSON `json:"candidates"`
+	Candidates []CandidateJSON `json:"candidates"`
 }
 
-type candidateJSON struct {
+type CandidateJSON struct {
 	Value string  `json:"value"`
 	Count int     `json:"count"`
 	Score float64 `json:"score"`
 }
 
-type repairResponse struct {
+type RepairResponse struct {
 	Tuples       []map[string]string `json:"tuples"`
-	Fixes        []fixJSON           `json:"fixes"`
+	Fixes        []FixJSON           `json:"fixes"`
 	Covered      int                 `json:"covered"`
 	Changed      int                 `json:"changed"`
 	RulesVersion int64               `json:"rules_version"`
@@ -148,7 +153,13 @@ type repairResponse struct {
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	var req tupleBatch
+	s.metrics.inFlightRepair.Add(1)
+	defer s.metrics.inFlightRepair.Add(-1)
+	// Every outcome lands in the latency window — 4xx, queue rejections
+	// and timeouts included — so the p50/p99 lines describe what clients
+	// actually experience, not just the successes.
+	defer func() { s.metrics.observeLatency(time.Since(start)) }()
+	var req TupleBatch
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
@@ -202,9 +213,9 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	}
 	changed := repair.WriteFixes(rel, y, res, req.OnlyMissing)
 
-	resp := repairResponse{
+	resp := RepairResponse{
 		Tuples:       req.Tuples,
-		Fixes:        []fixJSON{},
+		Fixes:        []FixJSON{},
 		Covered:      res.Covered,
 		Changed:      changed,
 		RulesVersion: rs.version,
@@ -213,7 +224,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		if res.Pred[row] == relation.Null || rel.Code(row, y) == oldCodes[row] {
 			continue
 		}
-		fix := fixJSON{
+		fix := FixJSON{
 			Row:   row,
 			Attr:  yName,
 			Old:   rel.Dict(y).Value(oldCodes[row]),
@@ -225,9 +236,9 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 			ruleStr := evd.Rule.String(rel, s.p.Master.Schema())
 			fix.Rules = append(fix.Rules, ruleStr)
 			if req.Explain {
-				ej := evidenceJSON{Rule: ruleStr}
+				ej := EvidenceJSON{Rule: ruleStr}
 				for _, c := range evd.Candidates {
-					ej.Candidates = append(ej.Candidates, candidateJSON{
+					ej.Candidates = append(ej.Candidates, CandidateJSON{
 						Value: rel.Dict(y).Value(c.Value),
 						Count: c.Count,
 						Score: c.Score,
@@ -241,11 +252,10 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	}
 	s.dictMu.RUnlock()
 	s.metrics.repairsApplied.Add(int64(changed))
-	s.metrics.observeLatency(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
 }
 
-type validationJSON struct {
+type ValidationJSON struct {
 	Row      int     `json:"row"`
 	Status   string  `json:"status"` // consistent, violation, missing, uncovered
 	Attr     string  `json:"attr"`
@@ -254,8 +264,8 @@ type validationJSON struct {
 	Score    float64 `json:"score,omitempty"`
 }
 
-type validateResponse struct {
-	Results      []validationJSON `json:"results"`
+type ValidateResponse struct {
+	Results      []ValidationJSON `json:"results"`
 	Violations   int              `json:"violations"`
 	Missing      int              `json:"missing"`
 	Uncovered    int              `json:"uncovered"`
@@ -264,7 +274,11 @@ type validateResponse struct {
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	var req tupleBatch
+	s.metrics.inFlightValidate.Add(1)
+	defer s.metrics.inFlightValidate.Add(-1)
+	// As in handleRepair: every outcome is observed, not just 200s.
+	defer func() { s.metrics.observeLatency(time.Since(start)) }()
+	var req TupleBatch
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
@@ -308,9 +322,9 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	s.dictMu.RLock()
 	y := s.p.Y
 	yName := s.p.Input.Schema().Attr(y).Name
-	resp := validateResponse{Results: make([]validationJSON, rel.NumRows()), RulesVersion: rs.version}
+	resp := ValidateResponse{Results: make([]ValidationJSON, rel.NumRows()), RulesVersion: rs.version}
 	for row := 0; row < rel.NumRows(); row++ {
-		v := validationJSON{Row: row, Attr: yName, Got: rel.Value(row, y)}
+		v := ValidationJSON{Row: row, Attr: yName, Got: rel.Value(row, y)}
 		switch cur := rel.Code(row, y); {
 		case res.Pred[row] == relation.Null:
 			v.Status = "uncovered"
@@ -331,13 +345,14 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		resp.Results[row] = v
 	}
 	s.dictMu.RUnlock()
-	s.metrics.observeLatency(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleRulesGet serves the active rule set in the portable wire format
-// (the same JSON -export-rules writes and -import-rules reads), with the
-// generation in the X-Rules-Version header.
+// (the same JSON -export-rules writes and -import-rules reads), with
+// the generation counter in the X-Rules-Version header and the
+// generation's content hash as a strong ETag — the id an ermcluster
+// coordinator compares across workers to spot replication skew.
 func (s *Server) handleRulesGet(w http.ResponseWriter, r *http.Request) {
 	rs := s.rules()
 	s.dictMu.RLock()
@@ -349,6 +364,7 @@ func (s *Server) handleRulesGet(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Rules-Version", fmt.Sprint(rs.version))
+	w.Header().Set("ETag", `"`+rs.etag+`"`)
 	//ermvet:ignore errdrop a failed response write means the client is gone; there is no one to tell
 	w.Write(data)
 }
@@ -364,7 +380,43 @@ func (s *Server) handleRulesPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"version": version, "count": count})
+	writeJSON(w, http.StatusOK, map[string]any{"version": version, "count": count, "etag": s.rules().etag})
+}
+
+// handleRulesStage is phase one of the cluster's two-phase rule push:
+// import and park a generation without activating it, answering its
+// content hash. The coordinator stages on every worker, verifies the
+// returned etags agree, and only then tells anyone to activate.
+func (s *Server) handleRulesStage(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	etag, count, err := s.StageRules(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"etag": etag, "count": count})
+}
+
+// handleRulesActivate is phase two: atomically swap in the staged
+// generation named by the request's etag.
+func (s *Server) handleRulesActivate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ETag string `json:"etag"`
+	}
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	version, count, err := s.ActivateStaged(req.ETag)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"version": version, "count": count, "etag": req.ETag})
 }
 
 func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
@@ -415,14 +467,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "shutting_down"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":         status,
 		"rules_active":   len(rs.rules),
 		"rules_version":  rs.version,
+		"rules_etag":     rs.etag,
 		"jobs_queued":    queued,
 		"jobs_running":   running,
 		"uptime_seconds": int64(time.Since(s.metrics.start).Seconds()),
-	})
+	}
+	if s.cfg.Role != "" {
+		body["role"] = s.cfg.Role
+	}
+	writeJSON(w, code, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

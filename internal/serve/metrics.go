@@ -20,18 +20,21 @@ const latencyWindow = 1024
 type metrics struct {
 	start time.Time
 
-	requestsTotal  atomic.Int64 // every HTTP request received
-	rejectedTotal  atomic.Int64 // 429s from the bounded queue
-	timeoutsTotal  atomic.Int64 // requests cut off by the per-request timeout
-	inFlight       atomic.Int64 // repair/validate requests holding a worker slot
-	queueDepth     atomic.Int64 // repair/validate requests waiting for a slot
-	repairsApplied atomic.Int64 // cells changed by POST /v1/repair
-	tuplesSeen     atomic.Int64 // tuples received across repair+validate
-	indexBuilds    atomic.Int64 // master indexes built (cache misses) on the serving path
-	ruleSwaps      atomic.Int64 // successful rule-set activations
-	jobsDone       atomic.Int64
-	jobsFailed     atomic.Int64
-	jobsRecovered  atomic.Int64 // jobs resumed from checkpoints at startup
+	requestsTotal    atomic.Int64 // every HTTP request received
+	rejectedTotal    atomic.Int64 // 429s from the bounded queue
+	timeoutsTotal    atomic.Int64 // requests cut off by the per-request timeout
+	inFlight         atomic.Int64 // repair/validate requests holding a worker slot
+	inFlightRepair   atomic.Int64 // POST /v1/repair requests currently inside the handler
+	inFlightValidate atomic.Int64 // POST /v1/validate requests currently inside the handler
+	queueDepth       atomic.Int64 // repair/validate requests waiting for a slot
+	repairsApplied   atomic.Int64 // cells changed by POST /v1/repair
+	tuplesSeen       atomic.Int64 // tuples received across repair+validate
+	indexBuilds      atomic.Int64 // master indexes built (cache misses) on the serving path
+	ruleSwaps        atomic.Int64 // successful rule-set activations
+	rulesStaged      atomic.Int64 // generations parked by POST /v1/rules/stage
+	jobsDone         atomic.Int64
+	jobsFailed       atomic.Int64
+	jobsRecovered    atomic.Int64 // jobs resumed from checkpoints at startup
 
 	latMu sync.Mutex
 	lat   [latencyWindow]float64 // guarded by latMu; milliseconds
@@ -51,9 +54,12 @@ func (m *metrics) observeLatency(d time.Duration) {
 }
 
 // percentiles returns p50 and p99 over the latency window, in
-// milliseconds. Zeroes when nothing has been observed yet.
-func (m *metrics) percentiles() (p50, p99 float64) {
+// milliseconds, plus the total number of observations ever made (the
+// window only bounds what the percentiles are computed over). Zeroes
+// when nothing has been observed yet.
+func (m *metrics) percentiles() (p50, p99 float64, total int64) {
 	m.latMu.Lock()
+	total = m.latN
 	n := m.latN
 	if n > latencyWindow {
 		n = latencyWindow
@@ -62,23 +68,25 @@ func (m *metrics) percentiles() (p50, p99 float64) {
 	copy(buf, m.lat[:n])
 	m.latMu.Unlock()
 	if n == 0 {
-		return 0, 0
+		return 0, 0, total
 	}
 	sort.Float64s(buf)
 	rank := func(q float64) float64 {
 		i := int(q*float64(n-1) + 0.5)
 		return buf[i]
 	}
-	return rank(0.50), rank(0.99)
+	return rank(0.50), rank(0.99), total
 }
 
 // write renders the counters in a flat `name value` text format (one
 // metric per line, Prometheus-parsable as untyped gauges).
 func (m *metrics) write(w io.Writer, rulesActive int, rulesVersion int64, jobsQueued, jobsRunning int) {
-	p50, p99 := m.percentiles()
+	p50, p99, latCount := m.percentiles()
 	fmt.Fprintf(w, "erminerd_uptime_seconds %.0f\n", time.Since(m.start).Seconds())
 	fmt.Fprintf(w, "erminerd_requests_total %d\n", m.requestsTotal.Load())
 	fmt.Fprintf(w, "erminerd_requests_in_flight %d\n", m.inFlight.Load())
+	fmt.Fprintf(w, "erminerd_requests_in_flight_repair %d\n", m.inFlightRepair.Load())
+	fmt.Fprintf(w, "erminerd_requests_in_flight_validate %d\n", m.inFlightValidate.Load())
 	fmt.Fprintf(w, "erminerd_queue_depth %d\n", m.queueDepth.Load())
 	fmt.Fprintf(w, "erminerd_rejected_total %d\n", m.rejectedTotal.Load())
 	fmt.Fprintf(w, "erminerd_timeouts_total %d\n", m.timeoutsTotal.Load())
@@ -88,11 +96,16 @@ func (m *metrics) write(w io.Writer, rulesActive int, rulesVersion int64, jobsQu
 	fmt.Fprintf(w, "erminerd_rules_active %d\n", rulesActive)
 	fmt.Fprintf(w, "erminerd_rules_version %d\n", rulesVersion)
 	fmt.Fprintf(w, "erminerd_rule_swaps_total %d\n", m.ruleSwaps.Load())
+	fmt.Fprintf(w, "erminerd_rules_staged_total %d\n", m.rulesStaged.Load())
 	fmt.Fprintf(w, "erminerd_jobs_queued %d\n", jobsQueued)
 	fmt.Fprintf(w, "erminerd_jobs_running %d\n", jobsRunning)
 	fmt.Fprintf(w, "erminerd_jobs_done_total %d\n", m.jobsDone.Load())
 	fmt.Fprintf(w, "erminerd_jobs_failed_total %d\n", m.jobsFailed.Load())
 	fmt.Fprintf(w, "erminerd_jobs_recovered_total %d\n", m.jobsRecovered.Load())
+	// latency_count tallies every repair/validate outcome — 4xx, 429s
+	// and timeouts included — so the percentile lines above can be read
+	// against the real request population, not just the successes.
+	fmt.Fprintf(w, "erminerd_repair_latency_count %d\n", latCount)
 	fmt.Fprintf(w, "erminerd_repair_latency_p50_ms %.3f\n", p50)
 	fmt.Fprintf(w, "erminerd_repair_latency_p99_ms %.3f\n", p99)
 }

@@ -122,7 +122,7 @@ func TestRepairHappyPath(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
 	}
-	var resp repairResponse
+	var resp RepairResponse
 	decode(t, w, &resp)
 
 	if resp.RulesVersion != 1 {
@@ -174,7 +174,7 @@ func TestRepairOnlyMissing(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
 	}
-	var resp repairResponse
+	var resp RepairResponse
 	decode(t, w, &resp)
 	if resp.Covered != 2 {
 		t.Errorf("covered = %d, want 2", resp.Covered)
@@ -220,7 +220,7 @@ func TestValidateStatuses(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
 	}
-	var resp validateResponse
+	var resp ValidateResponse
 	decode(t, w, &resp)
 	want := []struct {
 		status, expected string
@@ -249,7 +249,7 @@ func TestHotSwap(t *testing.T) {
 	repairBody := `{"tuples": [{"district": "hz", "area": "010", "postcode": "99999"}]}`
 
 	w := do(s, "POST", "/v1/repair", repairBody)
-	var before repairResponse
+	var before RepairResponse
 	decode(t, w, &before)
 	if before.RulesVersion != 1 || before.Covered != 0 || len(before.Fixes) != 0 {
 		t.Fatalf("empty rule set proposed fixes: %+v", before)
@@ -273,7 +273,7 @@ func TestHotSwap(t *testing.T) {
 	}
 
 	w = do(s, "POST", "/v1/repair", repairBody)
-	var after repairResponse
+	var after RepairResponse
 	decode(t, w, &after)
 	if after.RulesVersion != 2 {
 		t.Errorf("post-swap rules_version = %d, want 2", after.RulesVersion)
@@ -401,7 +401,7 @@ func TestJobLifecycle(t *testing.T) {
 	}
 
 	w = do(s, "POST", "/v1/repair", `{"tuples": [{"district": "hz", "area": "010", "postcode": "99999"}]}`)
-	var resp repairResponse
+	var resp RepairResponse
 	decode(t, w, &resp)
 	if resp.RulesVersion != 2 {
 		t.Errorf("repair after job ran on version %d, want 2", resp.RulesVersion)
@@ -581,5 +581,155 @@ func TestCloneProblemIsolation(t *testing.T) {
 	clone.Input.Dict(2).Code("00000")
 	if _, ok := s.p.Input.Dict(2).Lookup("00000"); ok {
 		t.Error("interning into the clone leaked into the serving dictionaries")
+	}
+}
+
+// TestRulesStageActivate drives the worker side of the cluster's
+// two-phase rule push: staging parks a generation without touching the
+// active set, activation must name the staged etag exactly, and the
+// etag equals the content hash GET /v1/rules advertises afterwards.
+func TestRulesStageActivate(t *testing.T) {
+	s := newTestServer(t, nil, Config{})
+	data, err := rulesio.Export(s.p, []core.MinedRule{districtRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := do(s, "POST", "/v1/rules/stage", string(data))
+	if w.Code != http.StatusOK {
+		t.Fatalf("stage: status %d: %s", w.Code, w.Body)
+	}
+	var staged struct {
+		ETag  string `json:"etag"`
+		Count int    `json:"count"`
+	}
+	decode(t, w, &staged)
+	if staged.Count != 1 || !strings.HasPrefix(staged.ETag, "sha256:") {
+		t.Fatalf("stage response = %+v", staged)
+	}
+	if got := rulesio.Hash(data); staged.ETag != got {
+		t.Errorf("staged etag %s, want content hash %s", staged.ETag, got)
+	}
+
+	// Staging must not activate: repairs still run the empty set.
+	var mid RepairResponse
+	decode(t, do(s, "POST", "/v1/repair", `{"tuples": [{"district": "hz", "area": "010"}]}`), &mid)
+	if mid.RulesVersion != 1 || mid.Covered != 0 {
+		t.Fatalf("staging touched the active set: %+v", mid)
+	}
+
+	// Activation is exact-match on the generation id.
+	if w := do(s, "POST", "/v1/rules/activate", `{"etag": "sha256:wrong"}`); w.Code != http.StatusConflict {
+		t.Fatalf("wrong-etag activate: status %d, want 409", w.Code)
+	}
+	// The mismatch consumed the staged set; re-stage and activate.
+	do(s, "POST", "/v1/rules/stage", string(data))
+	w = do(s, "POST", "/v1/rules/activate", `{"etag": "`+staged.ETag+`"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("activate: status %d: %s", w.Code, w.Body)
+	}
+	var act struct {
+		Version int64  `json:"version"`
+		Count   int    `json:"count"`
+		ETag    string `json:"etag"`
+	}
+	decode(t, w, &act)
+	if act.Version != 2 || act.Count != 1 || act.ETag != staged.ETag {
+		t.Fatalf("activate response = %+v", act)
+	}
+	if got := s.RulesETag(); got != staged.ETag {
+		t.Errorf("RulesETag = %s, want %s", got, staged.ETag)
+	}
+
+	var after RepairResponse
+	decode(t, do(s, "POST", "/v1/repair", `{"tuples": [{"district": "hz", "area": "010", "postcode": "9"}]}`), &after)
+	if after.RulesVersion != 2 || len(after.Fixes) != 1 {
+		t.Fatalf("activated rules not serving: %+v", after)
+	}
+
+	w = do(s, "GET", "/v1/rules", "")
+	if got := w.Header().Get("ETag"); got != `"`+staged.ETag+`"` {
+		t.Errorf("GET /v1/rules ETag = %s, want %q", got, staged.ETag)
+	}
+	if got := rulesio.Hash(w.Body.Bytes()); got != staged.ETag {
+		t.Errorf("served body hashes to %s, want %s (export is not canonical)", got, staged.ETag)
+	}
+	var health struct {
+		ETag string `json:"rules_etag"`
+	}
+	decode(t, do(s, "GET", "/healthz", ""), &health)
+	if health.ETag != staged.ETag {
+		t.Errorf("healthz rules_etag = %s, want %s", health.ETag, staged.ETag)
+	}
+
+	// Activating with nothing staged is a conflict, not a crash.
+	if w := do(s, "POST", "/v1/rules/activate", `{"etag": "`+staged.ETag+`"}`); w.Code != http.StatusConflict {
+		t.Errorf("activate with empty stage: status %d, want 409", w.Code)
+	}
+}
+
+// TestStagedRejectedOnBadRules: a stage of an unimportable file must
+// fail without parking anything.
+func TestStagedRejectedOnBadRules(t *testing.T) {
+	s := newTestServer(t, nil, Config{})
+	w := do(s, "POST", "/v1/rules/stage", `[{"lhs": [["nosuch", "nosuch"]], "y": "postcode", "ym": "postcode"}]`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad stage: status %d, want 400", w.Code)
+	}
+	s.stagedMu.Lock()
+	parked := s.staged
+	s.stagedMu.Unlock()
+	if parked != nil {
+		t.Error("failed stage left a generation parked")
+	}
+}
+
+// TestMetricsPerEndpointInFlight pins the per-endpoint gauges: a repair
+// parked inside the handler shows up in the repair gauge only.
+func TestMetricsPerEndpointInFlight(t *testing.T) {
+	s := newTestServer(t, []core.MinedRule{districtRule()}, Config{})
+	gate := make(chan struct{})
+	s.holdRepair = func() { <-gate }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		do(s, "POST", "/v1/repair", `{"tuples": [{"district": "hz", "area": "010"}]}`)
+	}()
+	waitFor(t, "repair to park in the handler", func() bool {
+		return s.metrics.inFlightRepair.Load() == 1
+	})
+	body := do(s, "GET", "/metrics", "").Body.String()
+	for _, line := range []string{
+		"erminerd_requests_in_flight_repair 1",
+		"erminerd_requests_in_flight_validate 0",
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("metrics output missing %q:\n%s", line, body)
+		}
+	}
+	close(gate)
+	wg.Wait()
+	if got := s.metrics.inFlightRepair.Load(); got != 0 {
+		t.Errorf("in-flight repair gauge = %d after completion, want 0", got)
+	}
+}
+
+// TestLatencyObservedOnFailures pins the histogram fix: 4xx outcomes
+// are counted in the latency window, not silently dropped.
+func TestLatencyObservedOnFailures(t *testing.T) {
+	s := newTestServer(t, []core.MinedRule{districtRule()}, Config{})
+	if w := do(s, "POST", "/v1/repair", `{"tuples": []}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", w.Code)
+	}
+	if w := do(s, "POST", "/v1/validate", `{"bogus": 1}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad validate: status %d, want 400", w.Code)
+	}
+	if _, _, n := s.metrics.percentiles(); n != 2 {
+		t.Errorf("latency observations after two 4xx requests = %d, want 2", n)
+	}
+	if !strings.Contains(do(s, "GET", "/metrics", "").Body.String(), "erminerd_repair_latency_count 2") {
+		t.Error("metrics output missing erminerd_repair_latency_count 2")
 	}
 }

@@ -70,6 +70,10 @@ type Config struct {
 	// CheckpointEvery is the wall-clock period between checkpoint
 	// writes. Zero means the rlminer default (30s).
 	CheckpointEvery time.Duration
+	// Role names this daemon's place in a topology ("worker" under an
+	// ermcluster coordinator); it is reported in /healthz and changes no
+	// behaviour — a worker is a full single-node daemon.
+	Role string
 }
 
 func (c Config) repairWorkers() int {
@@ -122,11 +126,24 @@ func (c Config) maxBody() int64 {
 }
 
 // ruleSet is one immutable generation of the active rules. Swaps replace
-// the whole value behind the atomic pointer.
+// the whole value behind the atomic pointer. etag is the generation's
+// content hash — rulesio.Hash over the canonical wire export — which
+// names the generation across processes: an ermcluster coordinator
+// compares worker etags to detect replication skew.
 type ruleSet struct {
 	version int64
+	etag    string
 	rules   []core.MinedRule
 	list    []*rule.Rule
+}
+
+// stagedRules is a generation parked by POST /v1/rules/stage, waiting
+// for the matching activate — phase one of the cluster's two-phase
+// rule push. It is already imported and content-addressed, so the
+// activate is a pure pointer swap that cannot fail.
+type stagedRules struct {
+	etag  string
+	rules []core.MinedRule
 }
 
 // Server is the rule-serving daemon. Build one with New, mount it as an
@@ -153,6 +170,11 @@ type Server struct {
 	// requests queued for a slot (bounded by cfg.queueDepth()).
 	workers chan struct{}
 	waiters atomic.Int64
+
+	// stagedMu guards the parked generation between the stage and
+	// activate phases of a two-phase rule push.
+	stagedMu sync.Mutex
+	staged   *stagedRules // guarded by stagedMu
 
 	jobs    *jobManager
 	metrics *metrics
@@ -184,7 +206,11 @@ func New(p *core.Problem, rules []core.MinedRule, cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 	}
 	s.jobs = newJobManager(cfg.jobWorkers(), cfg.jobQueue(), s.runJob)
-	s.install(&ruleSet{version: s.version.Add(1), rules: rules, list: ruleList(rules)})
+	etag, err := s.generationETag(rules)
+	if err != nil {
+		return nil, err
+	}
+	s.install(&ruleSet{version: s.version.Add(1), etag: etag, rules: rules, list: ruleList(rules)})
 	s.routes()
 	// Recovery runs last: recovered jobs start immediately, and one that
 	// finishes fast (and activates) must never race the initial install.
@@ -216,21 +242,90 @@ func (s *Server) rules() *ruleSet {
 	return s.active.Load()
 }
 
-// SwapRules imports a wire-format rule file against the serving problem
-// and atomically activates it, returning the new version and rule
-// count. In-flight requests keep the snapshot they started with.
-func (s *Server) SwapRules(data []byte) (version int64, count int, err error) {
+// generationETag content-addresses a rule set: the hash of its
+// canonical wire export. Canonicalising before hashing makes the id
+// independent of client formatting, so every node that holds the same
+// rules reports the same etag regardless of the bytes it was fed.
+func (s *Server) generationETag(rules []core.MinedRule) (string, error) {
+	s.dictMu.RLock()
+	data, err := rulesio.Export(s.p, rules)
+	s.dictMu.RUnlock()
+	if err != nil {
+		return "", err
+	}
+	return rulesio.Hash(data), nil
+}
+
+// importGeneration parses a wire-format rule file against the serving
+// problem and returns the rules with their canonical generation etag.
+func (s *Server) importGeneration(data []byte) ([]core.MinedRule, string, error) {
 	s.dictMu.Lock()
 	imported, err := rulesio.Import(s.p, data)
 	s.dictMu.Unlock()
 	if err != nil {
+		return nil, "", err
+	}
+	etag, err := s.generationETag(imported)
+	if err != nil {
+		return nil, "", err
+	}
+	return imported, etag, nil
+}
+
+// SwapRules imports a wire-format rule file against the serving problem
+// and atomically activates it, returning the new version and rule
+// count. In-flight requests keep the snapshot they started with.
+func (s *Server) SwapRules(data []byte) (version int64, count int, err error) {
+	imported, etag, err := s.importGeneration(data)
+	if err != nil {
 		return 0, 0, err
 	}
-	rs := &ruleSet{version: s.version.Add(1), rules: imported, list: ruleList(imported)}
+	rs := &ruleSet{version: s.version.Add(1), etag: etag, rules: imported, list: ruleList(imported)}
 	s.install(rs)
 	s.metrics.ruleSwaps.Add(1)
 	return rs.version, len(imported), nil
 }
+
+// StageRules parks a generation without activating it: phase one of
+// the cluster's two-phase rule push. The rules are fully imported and
+// validated here, so the later activate cannot fail; the returned etag
+// is the generation's content hash, which the coordinator requires to
+// agree across every worker before it activates anywhere.
+func (s *Server) StageRules(data []byte) (etag string, count int, err error) {
+	imported, etag, err := s.importGeneration(data)
+	if err != nil {
+		return "", 0, err
+	}
+	s.stagedMu.Lock()
+	s.staged = &stagedRules{etag: etag, rules: imported}
+	s.stagedMu.Unlock()
+	s.metrics.rulesStaged.Add(1)
+	return etag, len(imported), nil
+}
+
+// ActivateStaged atomically installs the generation parked by
+// StageRules. etag must name it exactly — activating "whatever is
+// staged" would race concurrent stagers — and the parked set is
+// consumed either way.
+func (s *Server) ActivateStaged(etag string) (version int64, count int, err error) {
+	s.stagedMu.Lock()
+	st := s.staged
+	s.staged = nil
+	s.stagedMu.Unlock()
+	if st == nil {
+		return 0, 0, fmt.Errorf("serve: no staged rule set to activate")
+	}
+	if st.etag != etag {
+		return 0, 0, fmt.Errorf("serve: staged generation is %s, not %s", st.etag, etag)
+	}
+	rs := &ruleSet{version: s.version.Add(1), etag: st.etag, rules: st.rules, list: ruleList(st.rules)}
+	s.install(rs)
+	s.metrics.ruleSwaps.Add(1)
+	return rs.version, len(st.rules), nil
+}
+
+// RulesETag returns the active generation's content hash.
+func (s *Server) RulesETag() string { return s.rules().etag }
 
 // cloneProblem deep-copies the serving problem into a private
 // dictionary pool and index cache, so a mining job shares no mutable

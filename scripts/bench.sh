@@ -1,13 +1,17 @@
 #!/bin/sh
-# bench.sh — record the columnar hot-path baseline into BENCH_hotpath.json.
+# bench.sh — record the benchmark baselines into BENCH_hotpath.json and
+# BENCH_parallel.json.
 #
 # Runs the evaluation hot-path benchmarks — BenchmarkEvaluate/{columnar,
 # scalar} in bench_test.go and BenchmarkRepairThroughput in
 # internal/serve — and rewrites BENCH_hotpath.json from their output
 # (ns/op, allocs/op, req/s, p99_ms, plus the columnar-over-scalar
-# speedup). Run it on a quiet machine after touching internal/measure
-# and commit the result. CI does not run this script; it runs the same
-# benchmarks at -benchtime=1x as a smoke and gates on
+# speedup). It then runs the parallel-engine benchmarks
+# (BenchmarkEvaluateParallel/{columnar,scalar} and
+# BenchmarkEnuMinerParallel) and rewrites BENCH_parallel.json. Run it on
+# a quiet machine after touching internal/measure or the parallel
+# frontier and commit the results. CI does not run this script; it runs
+# the hot-path benchmarks at -benchtime=1x as a smoke and gates on
 # TestEvaluateZeroAlloc instead (see .github/workflows/ci.yml).
 #
 # BENCHTIME=5s ./scripts/bench.sh  to trade time for tighter numbers.
@@ -93,3 +97,65 @@ cat > "$out" <<EOF
 EOF
 
 echo "wrote $out (columnar ${col_ns} ns/op, ${col_allocs} allocs/op; ${speedup}x over scalar; serve ${rt_rps} req/s, p99 ${rt_p99} ms)" >&2
+
+echo "== go test -bench 'EvaluateParallel|EnuMinerParallel' (-benchtime $benchtime)" >&2
+go test -run '^$' -bench 'BenchmarkEvaluateParallel$|BenchmarkEnuMinerParallel$' -benchtime "$benchtime" . | tee -a "$raw" >&2
+
+ep_col_ns=$(metric 'BenchmarkEvaluateParallel/columnar' 'ns/op')
+ep_col_speedup=$(metric 'BenchmarkEvaluateParallel/columnar' 'speedup')
+ep_col_iters=$(awk '$1 ~ "^BenchmarkEvaluateParallel/columnar(-[0-9]+)?$" { print $2; exit }' "$raw")
+ep_sc_ns=$(metric 'BenchmarkEvaluateParallel/scalar' 'ns/op')
+ep_sc_speedup=$(metric 'BenchmarkEvaluateParallel/scalar' 'speedup')
+ep_sc_iters=$(awk '$1 ~ "^BenchmarkEvaluateParallel/scalar(-[0-9]+)?$" { print $2; exit }' "$raw")
+em_ns=$(metric 'BenchmarkEnuMinerParallel' 'ns/op')
+em_speedup=$(metric 'BenchmarkEnuMinerParallel' 'speedup')
+em_iters=$(awk '$1 ~ "^BenchmarkEnuMinerParallel(-[0-9]+)?$" { print $2; exit }' "$raw")
+
+for v in "$ep_col_ns" "$ep_col_speedup" "$ep_sc_ns" "$ep_sc_speedup" "$em_ns" "$em_speedup"; do
+    if [ -z "$v" ]; then
+        echo "bench.sh: failed to parse a parallel-benchmark metric" >&2
+        exit 1
+    fi
+done
+
+pout=BENCH_parallel.json
+cat > "$pout" <<EOF
+{
+  "description": "Baseline for the parallel rule-evaluation engine benchmarks (BenchmarkEvaluateParallel/{columnar,scalar}, BenchmarkEnuMinerParallel in bench_test.go). The speedup metric is serial-path (Parallelism 1) wall clock divided by all-CPU wall clock on the same problem; serial and parallel results are verified bit-identical (TestParallelMineDeterminism, TestParallelScanDeterminism). The columnar subbench records the posting-list default engine (DESIGN.md decision 16); the scalar subbench records the retained chunked row-at-a-time scan (-scalar-eval).",
+  "recorded": "$(date +%Y-%m-%d)",
+  "recorded_with": "scripts/bench.sh (benchtime $benchtime)",
+  "host": {
+    "go": "$(go version | awk '{print $3}')",
+    "goos": "$(go env GOOS)",
+    "goarch": "$(go env GOARCH)",
+    "cpu": "${cpu:-unknown}",
+    "cores": $(nproc)
+  },
+  "note": "On a 1-core host Problem.Workers() resolves to 1 and the engine deliberately takes the exact serial path, so true speedup is 1.0 by construction; the reported number is measurement noise around that. The bias is largest for very short ops (the columnar scan, tens of microseconds): the serial baseline is the fastest of 5 runs while the parallel figure is the mean over all iterations, so a noisy host drags the ratio well below 1. Re-record on a quiet 4+ core runner to observe the >= 2x scalar-scan speedup the chunked engine targets; the parallel code paths themselves are exercised on any machine by the determinism and race tests, which force worker counts of 2-8 explicitly.",
+  "benchmarks": {
+    "BenchmarkEvaluateParallel/columnar": {
+      "dataset": "covid 40000x1824, full pattern scan",
+      "iterations": ${ep_col_iters:-0},
+      "ns_per_op": $ep_col_ns,
+      "speedup": $ep_col_speedup,
+      "cpus": $(nproc)
+    },
+    "BenchmarkEvaluateParallel/scalar": {
+      "dataset": "covid 40000x1824, full pattern scan",
+      "iterations": ${ep_sc_iters:-0},
+      "ns_per_op": $ep_sc_ns,
+      "speedup": $ep_sc_speedup,
+      "cpus": $(nproc)
+    },
+    "BenchmarkEnuMinerParallel": {
+      "dataset": "covid 2500x1824, EnuMinerH3, ~7242 candidates",
+      "iterations": ${em_iters:-0},
+      "ns_per_op": $em_ns,
+      "speedup": $em_speedup,
+      "cpus": $(nproc)
+    }
+  }
+}
+EOF
+
+echo "wrote $pout (columnar scan ${ep_col_ns} ns/op speedup ${ep_col_speedup}; scalar scan ${ep_sc_ns} ns/op speedup ${ep_sc_speedup}; enuminer ${em_ns} ns/op speedup ${em_speedup})" >&2

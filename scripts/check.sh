@@ -67,4 +67,10 @@ if [ -f "$ckdir/erminer.ckpt" ]; then
     exit 1
 fi
 
+echo "== cluster chaos smoke"
+# Coordinator + 2 worker processes on loopback: merged responses must be
+# byte-identical to a single node, before and after one worker is
+# SIGKILLed mid-batch-loop (see scripts/cluster_smoke.sh).
+sh scripts/cluster_smoke.sh
+
 echo "check: OK"

@@ -1,0 +1,161 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end ermcluster chaos smoke.
+#
+# Boots a single-node reference daemon plus a coordinator fronting two
+# real worker processes on loopback, all serving the same CSV problem
+# with the same deterministically mined rule set, and requires:
+#
+#   1. the coordinator's merged /v1/repair and /v1/validate responses
+#      are byte-identical to the single node's (cmp, not jq);
+#   2. after SIGKILLing one worker mid-batch-loop, every subsequent
+#      merged response is STILL byte-identical (the dead worker's
+#      sub-batches retry, then hedge to the survivor);
+#   3. the coordinator's metrics and health report the casualty
+#      (redispatches > 0, workers_healthy drops to 1).
+#
+# This is the process-level twin of internal/cluster's in-process chaos
+# test: same contract, real sockets, real SIGKILL.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+cleanup() {
+    for pidfile in "$dir"/*.pid; do
+        [ -f "$pidfile" ] && kill -9 "$(cat "$pidfile")" 2>/dev/null || true
+    done
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+echo "== building erminerd"
+go build -o "$dir/erminerd" ./cmd/erminerd
+
+# A district/area → postcode fixture small enough that enuminerh3 mines
+# its (deterministic) rule set in milliseconds on every daemon.
+cat > "$dir/master.csv" <<'EOF'
+district,area,postcode
+hz,010,31200
+hz,020,31200
+hz,030,31200
+bd,010,45000
+bd,020,45000
+bd,030,45000
+cz,010,52000
+cz,020,52000
+cz,030,52000
+EOF
+cat > "$dir/input.csv" <<'EOF'
+district,area,postcode
+hz,010,31200
+hz,020,31200
+hz,030,31200
+bd,010,45000
+bd,020,45000
+bd,030,45000
+cz,010,52000
+cz,020,52000
+cz,030,52000
+hz,020,
+EOF
+
+cat > "$dir/batch.json" <<'EOF'
+{"tuples": [
+  {"district": "hz", "area": "010", "postcode": "99999"},
+  {"district": "bd", "area": "020"},
+  {"district": "zz", "area": "010", "postcode": "1"},
+  {"district": "cz", "area": "030", "postcode": "52000"},
+  {"district": "hz", "area": "020", "postcode": ""},
+  {"district": "bd", "area": "010", "postcode": "45000"},
+  {},
+  {"district": "cz", "area": "010", "postcode": "11111"},
+  {"district": "hz", "area": "030"},
+  {"district": "bd", "area": "030", "postcode": "22222"},
+  {"district": "cz", "area": "020"},
+  {"district": "hz", "area": "010", "postcode": "99999"}
+]}
+EOF
+
+daemon_flags="-input-csv $dir/input.csv -master-csv $dir/master.csv -y postcode -ym postcode -eta 2 -mine enuminerh3 -addr 127.0.0.1:0"
+
+# start_daemon <name> [flags...] — boots one process in the current
+# shell (no command substitution: the pid and port must survive), drops
+# $dir/<name>.pid, and leaves the bound port in $port.
+start_daemon() {
+    name=$1; shift
+    "$dir/erminerd" "$@" > /dev/null 2> "$dir/$name.log" &
+    echo $! > "$dir/$name.pid"
+    port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$dir/$name.log" | head -n 1)
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "smoke: $name never logged its port; log:" >&2
+        cat "$dir/$name.log" >&2
+        exit 1
+    fi
+}
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        if curl -sf "http://127.0.0.1:$1/healthz" > /dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "smoke: 127.0.0.1:$1 never became healthy" >&2
+    exit 1
+}
+
+echo "== starting single-node reference + 2 workers + coordinator"
+start_daemon single $daemon_flags; single=$port
+start_daemon w1 -worker $daemon_flags; w1=$port
+start_daemon w2 -worker $daemon_flags; w2=$port
+w2_pid=$(cat "$dir/w2.pid")
+wait_healthy "$single"; wait_healthy "$w1"; wait_healthy "$w2"
+start_daemon coord -cluster-coordinator \
+    -workers "http://127.0.0.1:$w1,http://127.0.0.1:$w2" -retries 1 -addr 127.0.0.1:0
+coord=$port
+wait_healthy "$coord"
+
+post() { # post <port> <path> <outfile>
+    curl -sS -X POST -H 'Content-Type: application/json' \
+        --data-binary "@$dir/batch.json" "http://127.0.0.1:$1$2" -o "$3"
+}
+
+echo "== byte-identity: coordinator vs single node"
+for path in /v1/repair /v1/validate; do
+    post "$single" "$path" "$dir/ref$(basename $path).json"
+    post "$coord" "$path" "$dir/merged$(basename $path).json"
+    cmp "$dir/ref$(basename $path).json" "$dir/merged$(basename $path).json"
+done
+
+echo "== chaos: SIGKILL worker 2 mid-batch-loop"
+for i in $(seq 1 20); do
+    post "$coord" /v1/repair "$dir/chaos$i.json"
+    if [ "$i" = 3 ]; then
+        kill -9 "$w2_pid"
+    fi
+done
+for i in $(seq 1 20); do
+    cmp "$dir/refrepair.json" "$dir/chaos$i.json" || {
+        echo "smoke: response $i diverged from single-node after the worker kill" >&2
+        exit 1
+    }
+done
+
+echo "== casualty visible in coordinator metrics + health"
+curl -sf "http://127.0.0.1:$coord/metrics" > "$dir/metrics.txt"
+redis=$(sed -n 's/^ermcluster_redispatches_total \([0-9]*\)$/\1/p' "$dir/metrics.txt")
+if [ -z "$redis" ] || [ "$redis" -lt 1 ]; then
+    echo "smoke: expected ermcluster_redispatches_total >= 1, got '$redis'" >&2
+    exit 1
+fi
+# healthz answers 200 (degraded) with one worker down; -f must not trip.
+curl -s "http://127.0.0.1:$coord/healthz" > "$dir/health.json"
+grep -q '"workers_healthy":1' "$dir/health.json"
+grep -q '"status":"degraded"' "$dir/health.json"
+
+echo "cluster smoke: OK"
