@@ -10,6 +10,7 @@
 //	go run ./cmd/ermvet ./internal/serve ./internal/measure
 //	go run ./cmd/ermvet -checks detrand,maporder ./...
 //	go run ./cmd/ermvet -checks all -json ./...
+//	go run ./cmd/ermvet -sarif ./... > ermvet.sarif
 //	go run ./cmd/ermvet -update-wire
 //	go run ./cmd/ermvet -list
 //
@@ -33,16 +34,20 @@ func main() {
 	listChecks := flag.Bool("list", false, "list the checks and exit")
 	checkNames := flag.String("checks", "", "comma-separated subset of checks to run, or \"all\" (default: all)")
 	jsonOut := flag.Bool("json", false, "emit findings as newline-delimited JSON, including suppressed ones")
+	sarifOut := flag.Bool("sarif", false, "emit findings as one SARIF 2.1.0 document, including suppressed ones")
 	updateWire := flag.Bool("update-wire", false, "regenerate the golden wire-shape manifest and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ermvet [-list] [-checks name,...] [-json] [-update-wire] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ermvet [-list] [-checks name,...] [-json|-sarif] [-update-wire] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fail(fmt.Errorf("-json and -sarif are mutually exclusive"))
+	}
 
 	if *listChecks {
 		for _, c := range analysis.AllChecks {
-			fmt.Printf("%-10s %s\n", c.Name, c.Doc)
+			fmt.Printf("%-11s %s\n", c.Name, c.Doc)
 		}
 		return
 	}
@@ -89,6 +94,10 @@ func main() {
 	}
 
 	findings := 0
+	// SARIF is one document over the whole run, so diagnostics are
+	// collected across packages and written once; NDJSON streams
+	// per package.
+	var sarifDiags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		rel, err := filepath.Rel(root, pkg.Dir)
 		if err != nil {
@@ -106,14 +115,22 @@ func main() {
 				fail(err)
 			}
 		}
+		if *sarifOut {
+			sarifDiags = append(sarifDiags, diags...)
+		}
 		for _, d := range diags {
 			if d.Suppressed {
 				continue
 			}
-			if !*jsonOut {
+			if !*jsonOut && !*sarifOut {
 				fmt.Println(d)
 			}
 			findings++
+		}
+	}
+	if *sarifOut {
+		if err := analysis.WriteSARIF(os.Stdout, sarifDiags); err != nil {
+			fail(err)
 		}
 	}
 	if findings > 0 {

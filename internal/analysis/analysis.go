@@ -38,12 +38,15 @@ import (
 // marks findings silenced by a well-formed //ermvet:ignore directive;
 // Run drops them, RunAll keeps them (the -json CI feed reports
 // suppressions so a PR annotator can show the written-down decisions
-// alongside the live findings).
+// alongside the live findings). Reason carries the directive's
+// mandatory rationale for suppressed findings, so reporting surfaces
+// can show the decision, not just that one was made.
 type Diagnostic struct {
 	Check      string
 	Pos        token.Position
 	Message    string
 	Suppressed bool
+	Reason     string
 }
 
 func (d Diagnostic) String() string {
@@ -58,11 +61,14 @@ type Check struct {
 	Run func(*Pass)
 }
 
-// AllChecks is the full pass list, in reporting-name order. The first
-// five are the syntactic / function-granular v1 checks; lockflow,
+// AllChecks is the full pass list, in reporting-name order. The
+// syntactic / function-granular v1 checks came first; lockflow,
 // goroleak, errdrop and wiredrift are the flow-sensitive v2 layer built
-// on the CFG and call graph (cfg.go, callgraph.go).
-var AllChecks = []*Check{CtxCancel, DetRand, ErrDrop, FloatEq, GoroLeak, GuardedBy, LockFlow, MapOrder, WireDrift}
+// on the CFG and call graph (cfg.go, callgraph.go); allocbudget,
+// atomicmix and bodyclose are the v3 layer, which adds interprocedural
+// allocation budgets, atomics-consistency and resource-lifetime
+// dataflow on the same substrate.
+var AllChecks = []*Check{AllocBudget, AtomicMix, BodyClose, CtxCancel, DetRand, ErrDrop, FloatEq, GoroLeak, GuardedBy, LockFlow, MapOrder, WireDrift}
 
 // Options carries the module-level context some checks need beyond the
 // single package a Pass hands them. A nil *Options behaves like the
@@ -152,9 +158,12 @@ func RunAll(pkg *Package, checks []*Check, opts *Options) []Diagnostic {
 
 	ign, bad := ignoreDirectives(pkg)
 	for i, d := range diags {
-		if ign[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
-			ign[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}] {
+		if reason, ok := ign[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}]; ok {
 			diags[i].Suppressed = true
+			diags[i].Reason = reason
+		} else if reason, ok := ign[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]; ok {
+			diags[i].Suppressed = true
+			diags[i].Reason = reason
 		}
 	}
 	diags = append(diags, bad...)
@@ -183,12 +192,13 @@ type ignoreKey struct {
 
 const ignorePrefix = "//ermvet:ignore"
 
-// ignoreDirectives scans every comment for suppression directives. A
-// directive must name a known check and carry a reason; anything else
-// is reported as an "ermvet" diagnostic so a silencing typo cannot
-// silently widen the gate.
-func ignoreDirectives(pkg *Package) (map[ignoreKey]bool, []Diagnostic) {
-	ign := make(map[ignoreKey]bool)
+// ignoreDirectives scans every comment for suppression directives,
+// mapping each well-formed one to its reason string. A directive must
+// name a known check and carry a reason; anything else is reported as
+// an "ermvet" diagnostic so a silencing typo cannot silently widen the
+// gate.
+func ignoreDirectives(pkg *Package) (map[ignoreKey]string, []Diagnostic) {
+	ign := make(map[ignoreKey]string)
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -211,7 +221,7 @@ func ignoreDirectives(pkg *Package) (map[ignoreKey]bool, []Diagnostic) {
 						Message: fmt.Sprintf("ignore directive for %q is missing its reason: every suppression must say why", fields[0]),
 					})
 				default:
-					ign[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+					ign[ignoreKey{pos.Filename, pos.Line, fields[0]}] = strings.Join(fields[1:], " ")
 				}
 			}
 		}

@@ -38,6 +38,11 @@ func TestChecks(t *testing.T) {
 		{"floateq/nn", analysis.FloatEq},
 		{"floateq/other", analysis.FloatEq},
 		{"ctxcancel/serve", analysis.CtxCancel},
+		{"ctxcancel/cluster", analysis.CtxCancel},
+		{"allocbudget/a", analysis.AllocBudget},
+		{"bodyclose/cluster", analysis.BodyClose},
+		{"bodyclose/other", analysis.BodyClose},
+		{"atomicmix/a", analysis.AtomicMix},
 		{"lockflow/a", analysis.LockFlow},
 		{"goroleak/serve", analysis.GoroLeak},
 		{"goroleak/other", analysis.GoroLeak},

@@ -68,3 +68,56 @@ func TestGuardedByInventory(t *testing.T) {
 		}
 	}
 }
+
+// TestHotpathInventory pins the //ermvet:hotpath roots and
+// //ermvet:coldpath prunes seeded on the columnar repair path. Deleting
+// an annotation fails this test, so the allocation budget cannot
+// silently shrink; a "cold:" entry records a deliberate prune and its
+// rationale's presence is enforced by the allocbudget check itself.
+func TestHotpathInventory(t *testing.T) {
+	want := map[string][]string{
+		"../measure/measure.go": {
+			"(*Evaluator).CoveredCandidates",
+			"(*Evaluator).Evaluate",
+			"(*Evaluator).ReleaseCover",
+			"(*Evaluator).columnarFullCover",
+			"(*Evaluator).filterCover",
+			"(*Evaluator).getCover",
+			"(*Evaluator).ruleProjection",
+			"cold:(*Evaluator).evaluateScalar",
+			"cold:(*Evaluator).fullScanCover",
+		},
+		"../measure/posting.go": {
+			"condRows",
+			"intersectInto",
+			"mergeInto",
+			"subtractInto",
+		},
+		"../measure/groups.go": {
+			"appendGroupKey",
+			"appendLHSKey",
+		},
+		"../repair/repair.go": {
+			"applyRule",
+		},
+	}
+	for file, fns := range want {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		var got []string
+		for _, a := range analysis.HotpathAnnotations(f) {
+			name := a.Func
+			if a.Cold {
+				name = "cold:" + name
+			}
+			got = append(got, name)
+		}
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, fns) {
+			t.Errorf("%s hotpath inventory:\ngot:  %v\nwant: %v", file, got, fns)
+		}
+	}
+}

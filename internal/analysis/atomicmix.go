@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix forbids mixing atomic and plain access to the same field.
+// Two shapes are checked, in every package:
+//
+//   - A field of an atomic type (atomic.Int64, atomic.Pointer[T], ...)
+//     may only be used through its methods or by address. Copying it as
+//     a value reads its word without synchronization.
+//   - A plain field passed as &x.f to a sync/atomic function must not
+//     be read or written plainly anywhere else in the package — unless
+//     the plain access is under the field's declared "guarded by"
+//     mutex, using guardedby's receiver-chain identity, which is the
+//     one sound mixed regime (atomic readers, locked writers).
+var AtomicMix = &Check{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must not also be accessed plainly outside their declared guard",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	guarded := guardedFields(pass)
+
+	// Package-wide collection: plain fields that appear as &x.f
+	// arguments to sync/atomic package functions, and those selector
+	// sites themselves (exempt from the plain-access scan).
+	atomicOps := make(map[*types.Var]bool)
+	exempt := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(pass.Info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := callee.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods on atomic types are the safe API; only the
+				// package-level &-taking functions mark a plain field
+				// as atomically accessed.
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVarOf(pass, sel); fv != nil {
+					atomicOps[fv] = true
+					exempt[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	reported := make(map[lineKey]bool)
+	reportf := func(pos token.Pos, format string, args ...any) {
+		p := pass.Fset.Position(pos)
+		k := lineKey{p.Filename, p.Line}
+		if reported[k] {
+			return
+		}
+		reported[k] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locks := lockedChains(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fv := fieldVarOf(pass, sel)
+				if fv == nil {
+					return true
+				}
+				if isAtomicType(fv.Type()) {
+					if !atomicUseOK(parents[sel], sel) {
+						reportf(sel.Pos(), "atomic field %s is used as a plain value here; use its methods (or take its address) so every access stays atomic", fv.Name())
+					}
+					return true
+				}
+				if !atomicOps[fv] || exempt[sel] {
+					return true
+				}
+				if mu, ok := guarded[fv]; ok {
+					if locks[types.ExprString(sel.X)+"."+mu] {
+						return true
+					}
+					reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; this plain access is outside its declared guard %s and races with the atomic users", fv.Name(), mu)
+					return true
+				}
+				reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; this plain access races with it (guard it or use sync/atomic here too)", fv.Name())
+				return true
+			})
+		}
+	}
+}
+
+// fieldVarOf resolves sel to the struct field it selects, or nil when
+// sel is not a field selection.
+func fieldVarOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// atomicUseOK reports whether an atomic-typed field selection is in a
+// safe position: the receiver of a method selection (x.f.Load) or the
+// operand of & (passing the atomic by pointer).
+func atomicUseOK(parent ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return p.X == sel
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values
+// (Int32..Uint64, Uintptr, Bool, Pointer[T], Value).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// parentMap records each node's syntactic parent within f.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

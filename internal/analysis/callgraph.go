@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 )
@@ -18,6 +19,12 @@ type CallGraph struct {
 	// callees maps a caller to its callees, deduplicated and ordered by
 	// full name for deterministic traversal.
 	callees map[*types.Func][]*types.Func
+	// direct is callees restricted to calls made outside any nested
+	// function literal. allocbudget traverses these edges: a literal's
+	// body only runs when the literal is invoked, and creating the
+	// literal is itself a flagged allocation, so the budget treats
+	// closures as opaque boundaries (like cfg.go treats them for flow).
+	direct map[*types.Func][]*types.Func
 	// decls maps a function object to its syntax, when the declaration
 	// is in one of the analysed packages.
 	decls map[*types.Func]*ast.FuncDecl
@@ -29,6 +36,7 @@ type CallGraph struct {
 func BuildCallGraph(pkgs []*Package) *CallGraph {
 	g := &CallGraph{
 		callees: make(map[*types.Func][]*types.Func),
+		direct:  make(map[*types.Func][]*types.Func),
 		decls:   make(map[*types.Func]*ast.FuncDecl),
 	}
 	for _, pkg := range pkgs {
@@ -43,7 +51,26 @@ func BuildCallGraph(pkgs []*Package) *CallGraph {
 					continue
 				}
 				g.decls[caller] = fd
+				// Calls lexically inside nested function literals count
+				// toward callees (full reachability) but not direct
+				// (closure-opaque reachability).
+				var lits []*ast.FuncLit
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						lits = append(lits, lit)
+					}
+					return true
+				})
+				inLit := func(pos token.Pos) bool {
+					for _, lit := range lits {
+						if lit.Body.Pos() <= pos && pos < lit.Body.End() {
+							return true
+						}
+					}
+					return false
+				}
 				set := make(map[*types.Func]bool)
+				directSet := make(map[*types.Func]bool)
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					call, ok := n.(*ast.CallExpr)
 					if !ok {
@@ -51,21 +78,29 @@ func BuildCallGraph(pkgs []*Package) *CallGraph {
 					}
 					if callee := StaticCallee(pkg.Info, call); callee != nil {
 						set[callee] = true
+						if !inLit(call.Pos()) {
+							directSet[callee] = true
+						}
 					}
 					return true
 				})
-				callees := make([]*types.Func, 0, len(set))
-				for fn := range set {
-					callees = append(callees, fn)
-				}
-				sort.Slice(callees, func(i, j int) bool {
-					return callees[i].FullName() < callees[j].FullName()
-				})
-				g.callees[caller] = callees
+				g.callees[caller] = sortedFuncs(set)
+				g.direct[caller] = sortedFuncs(directSet)
 			}
 		}
 	}
 	return g
+}
+
+func sortedFuncs(set map[*types.Func]bool) []*types.Func {
+	fns := make([]*types.Func, 0, len(set))
+	for fn := range set {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		return fns[i].FullName() < fns[j].FullName()
+	})
+	return fns
 }
 
 // StaticCallee resolves the function or concrete method a call
@@ -106,6 +141,21 @@ func isInterfaceRecv(fn *types.Func) bool {
 
 // Callees returns fn's direct callees, in deterministic order.
 func (g *CallGraph) Callees(fn *types.Func) []*types.Func { return g.callees[fn] }
+
+// DirectCallees returns the callees fn calls outside any nested
+// function literal, in deterministic order. See the direct field for
+// why allocbudget wants this narrower edge set.
+func (g *CallGraph) DirectCallees(fn *types.Func) []*types.Func { return g.direct[fn] }
+
+// Decls returns every function with a declaration in the analysed
+// packages, sorted by full name for deterministic traversal.
+func (g *CallGraph) Decls() []*types.Func {
+	set := make(map[*types.Func]bool, len(g.decls))
+	for fn := range g.decls {
+		set[fn] = true
+	}
+	return sortedFuncs(set)
+}
 
 // DeclOf returns the syntax of fn's declaration, or nil when fn was
 // declared outside the analysed packages.

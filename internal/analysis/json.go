@@ -17,6 +17,9 @@ type diagJSON struct {
 	Col        int    `json:"col"`
 	Message    string `json:"message"`
 	Suppressed bool   `json:"suppressed"`
+	// Reason is the suppression directive's rationale; omitted for live
+	// findings so pre-existing consumers see an unchanged record.
+	Reason string `json:"reason,omitempty"`
 }
 
 // WriteJSON renders diagnostics as newline-delimited JSON. File paths
@@ -32,6 +35,7 @@ func WriteJSON(w io.Writer, diags []Diagnostic) error {
 			Col:        d.Pos.Column,
 			Message:    d.Message,
 			Suppressed: d.Suppressed,
+			Reason:     d.Reason,
 		}
 		if err := enc.Encode(j); err != nil {
 			return fmt.Errorf("analysis: encoding diagnostic: %w", err)

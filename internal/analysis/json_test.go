@@ -25,6 +25,13 @@ func TestJSONFormat(t *testing.T) {
 			Message:    "s.mu is still locked when f returns on this path",
 			Suppressed: true,
 		},
+		{
+			Check:      "allocbudget",
+			Pos:        token.Position{Filename: "internal/measure/measure.go", Line: 12, Column: 9},
+			Message:    "make allocates in //ermvet:hotpath function getCover",
+			Suppressed: true,
+			Reason:     "freelist miss: first use at this capacity",
+		},
 	}
 	var sb strings.Builder
 	if err := analysis.WriteJSON(&sb, diags); err != nil {
@@ -32,6 +39,7 @@ func TestJSONFormat(t *testing.T) {
 	}
 	want := `{"check":"errdrop","file":"internal/serve/checkpoint.go","line":54,"col":8,"message":"call to os.Remove drops its error result","suppressed":false}
 {"check":"lockflow","file":"internal/serve/handlers.go","line":9,"col":2,"message":"s.mu is still locked when f returns on this path","suppressed":true}
+{"check":"allocbudget","file":"internal/measure/measure.go","line":12,"col":9,"message":"make allocates in //ermvet:hotpath function getCover","suppressed":true,"reason":"freelist miss: first use at this capacity"}
 `
 	if sb.String() != want {
 		t.Errorf("JSON output drifted:\ngot:  %q\nwant: %q", sb.String(), want)

@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package under analysis.
@@ -39,6 +41,11 @@ type pkgSrc struct {
 // import path. Module-internal imports resolve to the packages loaded
 // here; standard-library imports are type-checked from GOROOT source via
 // importer.ForCompiler(..., "source", ...) — no module dependencies.
+// Parsing runs one goroutine per directory and type-checking runs
+// level-parallel over the dependency DAG, both bounded by GOMAXPROCS;
+// TestLoadModuleParallelDeterministic pins that the output — package
+// list, file lists and the full diagnostic stream — is identical run
+// to run regardless of scheduling.
 // Directories named testdata or vendor and hidden directories are
 // skipped, matching the go tool, so the analyzer's own intentionally
 // hazardous fixtures never reach the gate. Test files are excluded:
@@ -52,7 +59,7 @@ func LoadModule(root string) ([]*Package, error) {
 	}
 	fset := token.NewFileSet()
 
-	srcs := make(map[string]*pkgSrc)
+	var dirs []string
 	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -65,16 +72,25 @@ func LoadModule(root string) ([]*Package, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		src, err := parseDir(fset, path)
-		if err != nil {
-			return err
-		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	parsed, err := parseDirs(fset, dirs)
+	if err != nil {
+		return nil, err
+	}
+	srcs := make(map[string]*pkgSrc, len(parsed))
+	for i, src := range parsed {
 		if src == nil {
-			return nil
+			continue
 		}
-		rel, err := filepath.Rel(root, path)
+		rel, err := filepath.Rel(root, dirs[i])
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if rel == "." {
 			src.path = modPath
@@ -82,10 +98,6 @@ func LoadModule(root string) ([]*Package, error) {
 			src.path = modPath + "/" + filepath.ToSlash(rel)
 		}
 		srcs[src.path] = src
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 
 	order, err := topoSort(srcs, modPath)
@@ -118,6 +130,46 @@ func LoadDir(dir, importPath string) (*Package, error) {
 		return nil, err
 	}
 	return pkgs[0], nil
+}
+
+// parallelism bounds the loader's worker pools.
+func parallelism() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// parseDirs parses the given directories concurrently and returns one
+// (possibly nil) *pkgSrc per directory, index-aligned with dirs. The
+// shared FileSet is safe for concurrent use, and each directory's
+// files are parsed sequentially by one goroutine, so within a package
+// the file base offsets stay in filename order and every per-package
+// Pos comparison the checks make is deterministic run to run. When
+// several directories fail to parse, the error reported is the first
+// in dirs order (WalkDir's lexical order), independent of goroutine
+// scheduling.
+func parseDirs(fset *token.FileSet, dirs []string) ([]*pkgSrc, error) {
+	srcs := make([]*pkgSrc, len(dirs))
+	errs := make([]error, len(dirs))
+	sem := make(chan struct{}, parallelism())
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			srcs[i], errs[i] = parseDir(fset, dir)
+		}(i, dir)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return srcs, nil
 }
 
 // parseDir parses the non-test Go files of one directory, returning nil
@@ -203,47 +255,115 @@ func topoSort(srcs map[string]*pkgSrc, modPath string) ([]*pkgSrc, error) {
 
 // moduleImporter resolves module-internal imports to the packages
 // type-checked in this run and everything else (the standard library)
-// through the source importer.
+// through the source importer. The mutex makes it safe for the
+// concurrent type-checkers of one level: the source importer is not
+// safe for concurrent use, so standard-library resolution serializes
+// on mu — its per-package results are cached after the first import,
+// and the module packages themselves still check in parallel.
 type moduleImporter struct {
+	mu    sync.Mutex
 	std   types.Importer
 	local map[string]*types.Package
 }
 
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if p, ok := m.local[path]; ok {
 		return p, nil
 	}
 	return m.std.Import(path)
 }
 
+func (m *moduleImporter) add(path string, pkg *types.Package) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.local[path] = pkg
+}
+
+// typeCheck type-checks the topologically ordered packages with level
+// scheduling: a package's level is one past its deepest
+// module-internal dependency, so the members of one level only import
+// packages from earlier levels and are mutually independent — they
+// type-check concurrently, with a barrier between levels. Results are
+// deterministic: types.Info is per package, the shared importer is
+// mutex-guarded, and when a level has several failures the error
+// reported is from the lexically smallest failing import path,
+// independent of goroutine scheduling.
 func typeCheck(fset *token.FileSet, order []*pkgSrc) ([]*Package, error) {
 	imp := &moduleImporter{
 		std:   importer.ForCompiler(fset, "source", nil),
 		local: make(map[string]*types.Package, len(order)),
 	}
-	pkgs := make([]*Package, 0, len(order))
-	for _, src := range order {
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-			Implicits:  make(map[ast.Node]types.Object),
+
+	index := make(map[string]int, len(order))
+	for i, src := range order {
+		index[src.path] = i
+	}
+	level := make([]int, len(order))
+	maxLevel := 0
+	for i, src := range order {
+		for dep := range src.imports {
+			// Dependencies precede their importers in order, so level[j]
+			// is final by the time it feeds level[i].
+			if j, ok := index[dep]; ok && level[j]+1 > level[i] {
+				level[i] = level[j] + 1
+			}
 		}
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(src.path, fset, src.files, info)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: type-checking %s: %w", src.path, err)
+		if level[i] > maxLevel {
+			maxLevel = level[i]
 		}
-		imp.local[src.path] = tpkg
-		pkgs = append(pkgs, &Package{
-			Path:  src.path,
-			Dir:   src.dir,
-			Fset:  fset,
-			Files: src.files,
-			Types: tpkg,
-			Info:  info,
-		})
+	}
+
+	pkgs := make([]*Package, len(order))
+	errs := make([]error, len(order))
+	sem := make(chan struct{}, parallelism())
+	for l := 0; l <= maxLevel; l++ {
+		var wg sync.WaitGroup
+		for i, src := range order {
+			if level[i] != l {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, src *pkgSrc) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				info := &types.Info{
+					Types:      make(map[ast.Expr]types.TypeAndValue),
+					Defs:       make(map[*ast.Ident]types.Object),
+					Uses:       make(map[*ast.Ident]types.Object),
+					Selections: make(map[*ast.SelectorExpr]*types.Selection),
+					Implicits:  make(map[ast.Node]types.Object),
+				}
+				conf := types.Config{Importer: imp}
+				tpkg, err := conf.Check(src.path, fset, src.files, info)
+				if err != nil {
+					errs[i] = fmt.Errorf("analysis: type-checking %s: %w", src.path, err)
+					return
+				}
+				imp.add(src.path, tpkg)
+				pkgs[i] = &Package{
+					Path:  src.path,
+					Dir:   src.dir,
+					Fset:  fset,
+					Files: src.files,
+					Types: tpkg,
+					Info:  info,
+				}
+			}(i, src)
+		}
+		wg.Wait()
+		var firstErr error
+		firstPath := ""
+		for i, err := range errs {
+			if err != nil && (firstErr == nil || order[i].path < firstPath) {
+				firstErr, firstPath = err, order[i].path
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
 	}
 	return pkgs, nil
 }

@@ -1,0 +1,144 @@
+// Package a is an allocbudget fixture: functions annotated
+// //ermvet:hotpath — and everything they reach through direct static
+// calls — must be free of allocating constructs.
+package a
+
+import (
+	"fmt"
+	"sync"
+)
+
+type enc struct {
+	buf   []byte
+	idx   []int32
+	cache map[string]int
+	once  sync.Once
+}
+
+// hot is an annotated root with a violation in its own body and more in
+// its callees.
+//
+//ermvet:hotpath
+func (e *enc) hot(rows []int32, k []byte) int {
+	e.buf = append(e.buf[:0], k...) // ok: reused backing
+	s := make([]int32, len(rows))   // want `make allocates in //ermvet:hotpath function \(\*enc\)\.hot`
+	_ = s
+	e.coldBuild()
+	return e.lookup(k)
+}
+
+// lookup is unannotated but reachable from hot, so it is in the budget.
+func (e *enc) lookup(k []byte) int {
+	if n, ok := e.cache[string(k)]; ok { // ok: map-read key conversion is elided
+		return n
+	}
+	n := e.slowKey(k)
+	e.cache[string(k)] = n // want `map store may grow the map in \(\*enc\)\.lookup, reachable from //ermvet:hotpath root \(\*enc\)\.hot`
+	return n
+}
+
+// slowKey is two calls deep from the root.
+func (e *enc) slowKey(k []byte) int {
+	s := string(k) // want `string↔\[\]byte conversion copies its operand in \(\*enc\)\.slowKey, reachable from //ermvet:hotpath root \(\*enc\)\.hot`
+	return len(s)
+}
+
+// coldBuild rebuilds the index on a cache miss only, so it is pruned
+// from the budget.
+//
+//ermvet:coldpath cache-miss rebuild, amortized across requests
+func (e *enc) coldBuild() {
+	e.idx = make([]int32, 0, 64) // ok: coldpath
+}
+
+// hotClean appends onto its own backing and mutates in place; passes.
+//
+//ermvet:hotpath
+func (e *enc) hotClean(rows []int32) {
+	e.idx = e.idx[:0]
+	e.idx = append(e.idx, rows...)
+	for i := range e.idx {
+		e.idx[i]++
+	}
+}
+
+// hotOnce exercises the sync.Once carve-out: a Do literal runs at most
+// once, so its body's one-time cost is outside the steady state.
+//
+//ermvet:hotpath
+func (e *enc) hotOnce() {
+	e.once.Do(func() { e.idx = make([]int32, 4) }) // ok: runs at most once
+	go e.coldBuild()                               // want `go statement allocates a goroutine in //ermvet:hotpath function \(\*enc\)\.hotOnce`
+}
+
+// hotClosure creates a closure per call.
+//
+//ermvet:hotpath
+func (e *enc) hotClosure() int {
+	f := func() int { return len(e.buf) } // want `function literal allocates its closure; hoist it out of the hot path in //ermvet:hotpath function \(\*enc\)\.hotClosure`
+	return f()
+}
+
+func sink(v any) { _ = v }
+
+// hotReport boxes and formats.
+//
+//ermvet:hotpath
+func hotReport(n int) {
+	fmt.Println(n) // want `fmt call allocates in //ermvet:hotpath function hotReport`
+	sink(n)        // want `argument boxed into interface parameter allocates in //ermvet:hotpath function hotReport`
+	sink(nil)      // ok: nil stores into an interface without allocating
+}
+
+// hotLit builds composite literals.
+//
+//ermvet:hotpath
+func hotLit() *enc {
+	e := &enc{}                // want `composite literal allocates in //ermvet:hotpath function hotLit`
+	e.cache = map[string]int{} // want `composite literal allocates in //ermvet:hotpath function hotLit`
+	return e
+}
+
+// hotAppend appends onto a fresh backing.
+//
+//ermvet:hotpath
+func hotAppend(rows []int32) []int32 {
+	return append([]int32{}, rows...) // want `append onto a non-reused backing allocates in //ermvet:hotpath function hotAppend`
+}
+
+// hotConcat concatenates non-constant strings.
+//
+//ermvet:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation allocates in //ermvet:hotpath function hotConcat`
+}
+
+// hotSuppressed documents its one allocation in place.
+//
+//ermvet:hotpath
+func hotSuppressed() []int32 {
+	//ermvet:ignore allocbudget fixture exercising the suppression path
+	return make([]int32, 8)
+}
+
+// badCold forgets the mandatory reason.
+//
+//ermvet:coldpath
+func (e *enc) badCold() {} // want `//ermvet:coldpath is missing its reason`
+
+// badHot carries an argument the directive does not take.
+//
+//ermvet:hotpath why not
+func (e *enc) badHot() {} // want `//ermvet:hotpath takes no argument`
+
+// bothWays cannot be hot and cold at once.
+//
+//ermvet:hotpath
+//ermvet:coldpath it is cold actually
+func (e *enc) bothWays() {} // want `\(\*enc\)\.bothWays cannot carry both //ermvet:hotpath and //ermvet:coldpath`
+
+var _ = sink
+
+//ermvet:hotpath // want `hotpath/coldpath directive must be in the doc comment of a function declaration`
+
+var misplacedAnchor = 0

@@ -1,0 +1,32 @@
+// Package other is out of bodyclose's scope: the check fires only in
+// the HTTP-speaking packages (cluster, serve), so the same leak shapes
+// pass here.
+package other
+
+import "errors"
+
+type body struct{}
+
+func (body) Close() error { return nil }
+
+type Response struct {
+	StatusCode int
+	Body       body
+}
+
+type client struct{}
+
+func (client) do() (*Response, error) { return &Response{}, nil }
+
+// leakOnStatus would fire in cluster; here it passes.
+func leakOnStatus(c client) error {
+	resp, err := c.do()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != 200 {
+		return errors.New("bad status")
+	}
+	resp.Body.Close()
+	return nil
+}

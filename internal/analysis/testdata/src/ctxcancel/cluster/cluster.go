@@ -1,0 +1,57 @@
+// Package cluster is a ctxcancel fixture shaped like the coordinator
+// constructor: New defaults its HTTP client without blocking (no hook
+// needed), while the exported fan-out entry points must take and use a
+// cancellation hook.
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+type client struct {
+	Timeout time.Duration
+}
+
+type Config struct {
+	Client  *client
+	Workers []string
+}
+
+type Coordinator struct {
+	client  *client
+	workers []string
+	done    chan struct{}
+}
+
+// New passes: constructing the coordinator — including defaulting the
+// client with an explicit timeout — performs no blocking operation.
+func New(cfg Config) *Coordinator {
+	c := cfg.Client
+	if c == nil {
+		c = &client{Timeout: 2 * time.Second}
+	}
+	return &Coordinator{client: c, workers: cfg.Workers, done: make(chan struct{})}
+}
+
+// Push passes: it blocks on the fan-out replies but honors ctx.
+func (c *Coordinator) Push(ctx context.Context, replies chan int) int {
+	select {
+	case v := <-replies:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Drain blocks on the done channel with no hook.
+func (c *Coordinator) Drain() {
+	<-c.done // want `exported Drain blocks \(channel receive\) but takes no context.Context or done channel`
+}
+
+// Close passes with a suppression: it blocks to hand off shutdown, and
+// shutdown is not cancellable by design.
+func (c *Coordinator) Close() {
+	//ermvet:ignore ctxcancel fixture exercising the suppression path
+	c.done <- struct{}{}
+}

@@ -67,9 +67,11 @@ type Config struct {
 	MaxBatch int
 	// MaxBody bounds request bodies in bytes. Zero means 32 MiB.
 	MaxBody int64
-	// Client overrides the HTTP client used for worker calls (nil means
-	// a private default). Per-attempt deadlines come from request
-	// contexts, not a client timeout.
+	// Client overrides the HTTP client used for worker calls. Nil means
+	// a private default whose Timeout is twice the per-worker timeout:
+	// per-attempt deadlines come from request contexts, and the client
+	// timeout is the belt-and-braces backstop should a context ever be
+	// plumbed through without one.
 	Client *http.Client
 }
 
@@ -172,7 +174,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{}
+		// Context deadlines bind first; the explicit Timeout only fires
+		// if a call path ever loses its context deadline.
+		client = &http.Client{Timeout: 2 * cfg.perWorkerTimeout()}
 	}
 	c := &Coordinator{
 		cfg:      cfg,

@@ -185,8 +185,13 @@ func TestReleaseCoverReuse(t *testing.T) {
 
 // TestEvaluateZeroAlloc is the allocation gate of the columnar hot
 // path: with warmed caches and the cover buffer recycled, Evaluate,
-// PatternCover and CoveredCandidates must not allocate. CI runs this
-// test by name; keep it green or the build gate fails.
+// PatternCover and CoveredCandidates must not allocate. The closing
+// sweep drives the repair-request shape (cover intersection, then one
+// candidate lookup per covered row) over every synthetic rule — mixed
+// LHS widths and guard patterns — so every //ermvet:hotpath function
+// reachable from a repair request executes under the allocation
+// counter, the dynamic counterpart of the static allocbudget check.
+// CI runs this test by name; keep it green or the build gate fails.
 func TestEvaluateZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are perturbed under -race")
@@ -222,6 +227,20 @@ func TestEvaluateZeroAlloc(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Errorf("CoveredCandidates allocates %.1f/op on a warmed cache, want 0", allocs)
+	}
+	for i, r := range rules {
+		for j := 0; j < 3; j++ { // warm this rule's projection and cover
+			ev.ReleaseCover(ev.PatternCover(r, nil))
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			cover := ev.PatternCover(r, nil)
+			for _, row := range cover {
+				ev.CoveredCandidates(r, int(row))
+			}
+			ev.ReleaseCover(cover)
+		}); allocs != 0 {
+			t.Errorf("rule %d: repair-shaped sweep allocates %.1f/op on a warmed cache, want 0", i, allocs)
+		}
 	}
 }
 

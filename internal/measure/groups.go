@@ -66,6 +66,8 @@ func buildProjection(in *relation.Relation, lhs []rule.AttrPair, idx masterIndex
 // when true — returning ok=false when any cell is Null. It is the
 // single key builder shared by the master index, the scalar input key
 // and the group projection, so the three can never drift apart.
+//
+//ermvet:hotpath
 func appendLHSKey(buf []byte, rel *relation.Relation, row int, lhs []rule.AttrPair, master bool) ([]byte, bool) {
 	for _, p := range lhs {
 		a := p.Input
@@ -85,6 +87,8 @@ func appendLHSKey(buf []byte, rel *relation.Relation, row int, lhs []rule.AttrPa
 // encoded (Input, Master) attribute pairs plus Y_m. Two rules with the
 // same LHS and dependent master attribute share one projection
 // regardless of their patterns.
+//
+//ermvet:hotpath
 func appendGroupKey(buf []byte, r *rule.Rule) []byte {
 	for _, p := range r.LHS {
 		buf = appendCode(buf, int32(p.Input))

@@ -253,6 +253,7 @@ func (e *Evaluator) index(r *rule.Rule) masterIndex {
 		e.idxKeyBuf = appendCode(e.idxKeyBuf, int32(p.Master))
 	}
 	e.idxKeyBuf = appendCode(e.idxKeyBuf, int32(r.Ym))
+	//ermvet:ignore allocbudget cache-miss builder closure runs once per (X_m, Y_m) index
 	idx, built := e.cache.get(e.idxKeyBuf, func() masterIndex {
 		return buildIndex(e.master, r)
 	})
@@ -300,6 +301,7 @@ func (e *Evaluator) inputKey(r *rule.Rule, row int) (string, bool) {
 	if !ok {
 		return "", false
 	}
+	//ermvet:ignore allocbudget scalar path only; the columnar path probes by group id, never by string key
 	return string(e.keyBuf), true
 }
 
@@ -316,6 +318,8 @@ func (e *Evaluator) Candidates(r *rule.Rule, row int) (*Hist, bool) {
 // rule's pattern (typically drawn from its PatternCover): it skips the
 // per-row pattern re-check, which is what makes cover-driven repair
 // (repair.ApplyContext) sub-linear in the relation size.
+//
+//ermvet:hotpath
 func (e *Evaluator) CoveredCandidates(r *rule.Rule, row int) (*Hist, bool) {
 	if len(r.LHS) == 0 {
 		return nil, false
@@ -355,6 +359,8 @@ func (e *Evaluator) truthCode(r *rule.Rule, row int) int32 {
 // The returned cover may come from the evaluator's buffer freelist:
 // callers that are done with it can hand it back via ReleaseCover to
 // keep steady-state evaluation allocation-free.
+//
+//ermvet:hotpath
 func (e *Evaluator) Evaluate(r *rule.Rule, parentCover []int32) Measures {
 	if e.Scalar {
 		return e.evaluateScalar(r, parentCover)
@@ -406,6 +412,8 @@ func (e *Evaluator) Evaluate(r *rule.Rule, parentCover []int32) Measures {
 // of Evaluate: a MatchesPattern cover scan followed by a per-row string
 // key build and master-index map probe. The differential and fuzz
 // suites pin the columnar path against it.
+//
+//ermvet:coldpath retained row-at-a-time reference engine; only the differential and fuzz suites select it
 func (e *Evaluator) evaluateScalar(r *rule.Rule, parentCover []int32) Measures {
 	e.Stats.Evaluations++
 	in := e.input
@@ -467,6 +475,7 @@ func (e *Evaluator) PatternCover(r *rule.Rule, parentCover []int32) []int32 {
 		if parentCover == nil {
 			return e.fullScanCover(r)
 		}
+		//ermvet:ignore allocbudget scalar reference path; columnar covers come from the freelist
 		out := make([]int32, 0, len(parentCover))
 		for _, row := range parentCover {
 			if r.MatchesPattern(in, int(row)) {
@@ -483,6 +492,8 @@ func (e *Evaluator) PatternCover(r *rule.Rule, parentCover []int32) []int32 {
 
 // getCover pops a cover buffer of at least the given capacity from the
 // freelist, or allocates one. The returned slice is non-nil and empty.
+//
+//ermvet:hotpath
 func (e *Evaluator) getCover(capacity int) []int32 {
 	if n := len(e.coverFree); n > 0 {
 		c := e.coverFree[n-1]
@@ -493,6 +504,7 @@ func (e *Evaluator) getCover(capacity int) []int32 {
 		}
 		// Too small: drop it and allocate at the requested size.
 	}
+	//ermvet:ignore allocbudget freelist miss: first use at this capacity; steady state reuses released covers
 	return make([]int32, 0, capacity)
 }
 
@@ -504,6 +516,8 @@ const maxCoverFree = 256
 // to the evaluator's freelist for reuse. Passing nil is a no-op. The
 // caller must not use the slice afterwards, and must call it on the
 // same goroutine that owns the evaluator (shards own their freelists).
+//
+//ermvet:hotpath
 func (e *Evaluator) ReleaseCover(c []int32) {
 	if cap(c) == 0 || len(e.coverFree) >= maxCoverFree {
 		return
@@ -516,6 +530,8 @@ func (e *Evaluator) ReleaseCover(c []int32) {
 // ascending), so the columnar engine keeps the row loop here — posting
 // intersections apply only to full-relation scans — which preserves the
 // scalar path's ordering semantics exactly.
+//
+//ermvet:hotpath
 func (e *Evaluator) filterCover(r *rule.Rule, parentCover []int32) []int32 {
 	in := e.input
 	out := e.getCover(len(parentCover))
@@ -531,6 +547,8 @@ func (e *Evaluator) filterCover(r *rule.Rule, parentCover []int32) []int32 {
 // k-way intersection of per-condition posting lists, smallest list
 // first. The output is ascending row ids — bit-identical to the scalar
 // full scan.
+//
+//ermvet:hotpath
 func (e *Evaluator) columnarFullCover(r *rule.Rule) []int32 {
 	if len(r.Pattern) == 0 {
 		all := e.columns.allRows()
@@ -593,12 +611,15 @@ func (e *Evaluator) columnarFullCover(r *rule.Rule) []int32 {
 // ruleProjection returns the rule's group projection, memoised on rule
 // pointer identity so repeated evaluations of one rule skip the cache
 // mutex entirely.
+//
+//ermvet:hotpath
 func (e *Evaluator) ruleProjection(r *rule.Rule) *groupProjection {
 	if e.memoRule == r && e.memoVersion == e.input.Version() {
 		return e.memoProj
 	}
 	idx := e.index(r)
 	e.keyBuf = appendGroupKey(e.keyBuf[:0], r)
+	//ermvet:ignore allocbudget cache-miss builder closure runs once per projection key
 	gp := e.columns.projection(e.keyBuf, func() *groupProjection {
 		return buildProjection(e.input, r.LHS, idx)
 	})
@@ -615,6 +636,8 @@ const minScanChunk = 512
 // pattern. With Parallelism > 1 the row range is chunked across
 // goroutines and the per-chunk results are concatenated in row order,
 // so the output is identical to the serial scan bit for bit.
+//
+//ermvet:coldpath scalar reference engine scan; the columnar path computes covers from posting lists
 func (e *Evaluator) fullScanCover(r *rule.Rule) []int32 {
 	in := e.input
 	n := in.NumRows()

@@ -108,12 +108,15 @@ func (ci *ColumnIndex) postings(attr int) *attrPostings {
 	ci.mu.Lock()
 	if v := ci.rel.Version(); v != ci.version {
 		ci.version = v
+		//ermvet:ignore allocbudget relation-version invalidation: rebuilt only when the input mutates
 		ci.attrs = make([]*postingEntry, ci.rel.NumCols())
+		//ermvet:ignore allocbudget relation-version invalidation: rebuilt only when the input mutates
 		ci.groups = make(map[string]*groupEntry)
 		ci.all = nil
 	}
 	e := ci.attrs[attr]
 	if e == nil {
+		//ermvet:ignore allocbudget one entry per attribute per relation version
 		e = &postingEntry{}
 		ci.attrs[attr] = e
 	}
@@ -129,11 +132,14 @@ func (ci *ColumnIndex) allRows() []int32 {
 	defer ci.mu.Unlock()
 	if v := ci.rel.Version(); v != ci.version {
 		ci.version = v
+		//ermvet:ignore allocbudget relation-version invalidation: rebuilt only when the input mutates
 		ci.attrs = make([]*postingEntry, ci.rel.NumCols())
+		//ermvet:ignore allocbudget relation-version invalidation: rebuilt only when the input mutates
 		ci.groups = make(map[string]*groupEntry)
 		ci.all = nil
 	}
 	if ci.all == nil {
+		//ermvet:ignore allocbudget identity row list built once per relation version
 		all := make([]int32, ci.rel.NumRows())
 		for i := range all {
 			all[i] = int32(i)
@@ -150,13 +156,17 @@ func (ci *ColumnIndex) projection(key []byte, build func() *groupProjection) *gr
 	ci.mu.Lock()
 	if v := ci.rel.Version(); v != ci.version {
 		ci.version = v
+		//ermvet:ignore allocbudget relation-version invalidation: rebuilt only when the input mutates
 		ci.attrs = make([]*postingEntry, ci.rel.NumCols())
+		//ermvet:ignore allocbudget relation-version invalidation: rebuilt only when the input mutates
 		ci.groups = make(map[string]*groupEntry)
 		ci.all = nil
 	}
 	e, ok := ci.groups[string(key)]
 	if !ok {
+		//ermvet:ignore allocbudget one entry per rule key per relation version
 		e = &groupEntry{}
+		//ermvet:ignore allocbudget cache insert happens once per rule key; hits take the read above
 		ci.groups[string(key)] = e
 	}
 	ci.mu.Unlock()
@@ -166,6 +176,8 @@ func (ci *ColumnIndex) projection(key []byte, build func() *groupProjection) *gr
 
 // mergeInto appends the ascending union of a and b (both ascending,
 // mutually disjoint or not) to dst and returns it.
+//
+//ermvet:hotpath
 func mergeInto(dst, a, b []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -189,6 +201,8 @@ func mergeInto(dst, a, b []int32) []int32 {
 
 // subtractInto appends base minus sub (both ascending) to dst and
 // returns it.
+//
+//ermvet:hotpath
 func subtractInto(dst, base, sub []int32) []int32 {
 	j := 0
 	for _, v := range base {
@@ -206,6 +220,8 @@ func subtractInto(dst, base, sub []int32) []int32 {
 // intersectInto appends the ascending intersection of a and b to dst
 // and returns it. When the lengths are lopsided it gallops through the
 // longer list with a doubling probe instead of stepping linearly.
+//
+//ermvet:hotpath
 func intersectInto(dst, a, b []int32) []int32 {
 	if len(a) > len(b) {
 		a, b = b, a
@@ -273,6 +289,8 @@ type condBufs struct {
 // condRows computes the ascending row ids satisfying cond. The result
 // may alias the attribute's posting lists or the scratch buffers, so
 // callers must copy it before retaining it.
+//
+//ermvet:hotpath
 func condRows(p *attrPostings, cond rule.Condition, bufs *condBufs) []int32 {
 	if !cond.Negate && len(cond.Codes) == 1 {
 		return p.rows[cond.Codes[0]]

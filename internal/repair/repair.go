@@ -82,22 +82,7 @@ func ApplyContext(ctx context.Context, ev *measure.Evaluator, rules []*rule.Rule
 			ctxErr = err
 			break
 		}
-		cover := ev.PatternCover(r, nil)
-		for _, row := range cover {
-			h, ok := ev.CoveredCandidates(r, int(row))
-			if !ok || h.Total == 0 {
-				continue
-			}
-			m := scores[row]
-			if m == nil {
-				m = make(map[int32]float64, len(h.Counts))
-				scores[row] = m
-			}
-			for v, c := range h.Counts {
-				m[v] += float64(c) / float64(h.Total)
-			}
-		}
-		ev.ReleaseCover(cover)
+		applyRule(ev, r, scores)
 	}
 
 	res := Result{
@@ -122,6 +107,35 @@ func ApplyContext(ctx context.Context, ev *measure.Evaluator, rules []*rule.Rule
 		res.Covered++
 	}
 	return res, ctxErr
+}
+
+// applyRule accumulates one rule's candidate fixes into the per-row
+// score maps: the rule's pattern cover (a posting-list intersection),
+// one group-projection candidate lookup per covered row, and the
+// certainty-weighted vote merge. It is the steady-state inner loop of a
+// repair request, so it anchors the allocation budget on the repair
+// side the way Evaluate anchors it on the measure side.
+//
+//ermvet:hotpath
+func applyRule(ev *measure.Evaluator, r *rule.Rule, scores []map[int32]float64) {
+	cover := ev.PatternCover(r, nil)
+	for _, row := range cover {
+		h, ok := ev.CoveredCandidates(r, int(row))
+		if !ok || h.Total == 0 {
+			continue
+		}
+		m := scores[row]
+		if m == nil {
+			//ermvet:ignore allocbudget first fix for a row allocates its score map once; maps are pooled and emptied, not freed
+			m = make(map[int32]float64, len(h.Counts))
+			scores[row] = m
+		}
+		for v, c := range h.Counts {
+			//ermvet:ignore allocbudget vote-map growth is bounded by the Y domain; the backing is pooled across requests
+			m[v] += float64(c) / float64(h.Total)
+		}
+	}
+	ev.ReleaseCover(cover)
 }
 
 // WriteFixes writes the predicted values into the relation's dependent

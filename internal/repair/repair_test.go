@@ -252,3 +252,37 @@ func TestApplyContextCancellation(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyRuleZeroAllocSteadyState is the repair-side allocation
+// gate: once a request's score maps exist and the evaluator's caches
+// are warm, applyRule — the per-rule inner loop of ApplyContext and an
+// //ermvet:hotpath root — must not allocate. Together with the measure
+// package's TestEvaluateZeroAlloc it proves dynamically, on one
+// execution each, what the allocbudget check enforces statically on
+// every path: a steady-state repair request stays off the heap.
+func TestApplyRuleZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	input, master := fixture()
+	ev := measure.NewEvaluator(input, master, nil)
+	guard := input.DomainCodes(1)
+	rules := []*rule.Rule{
+		rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 1, nil),
+		rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 1, nil).
+			WithCondition(rule.Eq(1, guard[0])),
+	}
+	scores := make([]map[int32]float64, input.NumRows())
+	for i := 0; i < 3; i++ { // warm postings, projections, freelist, score maps
+		for _, r := range rules {
+			applyRule(ev, r, scores)
+		}
+	}
+	for i, r := range rules {
+		if allocs := testing.AllocsPerRun(100, func() {
+			applyRule(ev, r, scores)
+		}); allocs != 0 {
+			t.Errorf("rule %d: applyRule allocates %.1f/op in steady state, want 0", i, allocs)
+		}
+	}
+}

@@ -26,6 +26,26 @@ go vet ./...
 echo "== ermvet -checks all ./..."
 go run ./cmd/ermvet -checks all ./...
 
+echo "== allocbudget / benchmark cross-check"
+# The static and dynamic halves of the allocation gate must agree:
+# ermvet's allocbudget check just declared every //ermvet:hotpath
+# function free of allocating constructs, so the real columnar
+# benchmark loop must measure 0 allocs/op. A disagreement means either
+# a suppression is hiding a steady-state allocation or the check has a
+# false-negative hole — a bug in the gate itself, so fail loudly.
+bench_out=$(go test -run '^$' -bench 'BenchmarkEvaluate$' -benchmem -benchtime 1x .)
+if ! echo "$bench_out" | grep -q 'BenchmarkEvaluate/columnar'; then
+    echo "cross-check: BenchmarkEvaluate/columnar did not run" >&2
+    exit 1
+fi
+echo "$bench_out" | awk '$1 ~ /^BenchmarkEvaluate\/columnar/ {
+  for (i = 2; i < NF; i++)
+    if ($(i+1) == "allocs/op" && $i + 0 != 0) {
+      print "cross-check: ermvet allocbudget passed but columnar Evaluate measures " $i " allocs/op, want 0" > "/dev/stderr"
+      exit 1
+    }
+}'
+
 echo "== go build ./..."
 go build ./...
 
