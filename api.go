@@ -51,6 +51,17 @@ type (
 	Attribute = relation.Attribute
 	// Pool owns the shared value dictionaries of a dataset.
 	Pool = relation.Pool
+	// Delta is a batch of relation mutations (row appends + cell
+	// updates) applied atomically by Relation.ApplyDelta. Codes must be
+	// pre-interned with Dict.Code; Null is allowed.
+	Delta = relation.Delta
+	// CellUpdate overwrites one cell of an existing row with a
+	// pre-interned code.
+	CellUpdate = relation.CellUpdate
+	// ChangeSet summarizes what a delta changed — appended row span and
+	// updated columns — and drives incremental maintenance of derived
+	// structures (IndexCache.ApplyDelta, ColumnIndex patching).
+	ChangeSet = relation.ChangeSet
 	// Match is the schema match M between input and master schemas.
 	Match = schema.Match
 	// Measures aggregates Support, Certainty, Quality and Utility.
@@ -246,6 +257,15 @@ type (
 	JobSpec = serve.JobSpec
 	// JobStatus is the externally visible snapshot of one mining job.
 	JobStatus = serve.JobStatus
+	// DataPatchRequest is the PATCH /v1/data wire format: a delta of
+	// row appends and cell updates against the input or master
+	// relation, optionally triggering an RLMiner-ft re-mining job.
+	DataPatchRequest = serve.DataPatchRequest
+	// DataPatchResponse reports what a data patch changed and the rule
+	// generation left serving after incremental re-validation.
+	DataPatchResponse = serve.DataPatchResponse
+	// DataCell addresses one cell in a data patch ("" means Null).
+	DataCell = serve.DataCellJSON
 )
 
 // NewServer builds the rule-serving daemon over a problem. rules may be

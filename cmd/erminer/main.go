@@ -16,6 +16,8 @@
 //
 //	-export-rules rules.json    write discovered rules as portable JSON
 //	-import-rules rules.json    load rules instead of mining (mine-free repair)
+//	-mutate delta.json          apply a data delta (appends + cell updates, the
+//	                            PATCH /v1/data wire format) before mining
 //	-save-model model.bin       persist the RLMiner value network
 //	-load-model model.bin       fine-tune a persisted model (RLMiner-ft)
 //	-checkpoint-dir dir         crash-safe RLMiner training checkpoints; an
@@ -29,6 +31,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +62,7 @@ type options struct {
 	match      string
 	exportTo   string
 	importFrom string
+	mutate     string
 	saveModel  string
 	loadModel  string
 	explain    int
@@ -91,6 +95,7 @@ func main() {
 	flag.StringVar(&o.match, "match", "", "schema match as in1=ms1,in2=ms2 (CSV mode; empty = infer)")
 	flag.StringVar(&o.exportTo, "export-rules", "", "write discovered rules to this JSON file")
 	flag.StringVar(&o.importFrom, "import-rules", "", "load rules from this JSON file instead of mining (mine-free repair)")
+	flag.StringVar(&o.mutate, "mutate", "", "apply a data delta from this JSON file before mining (PATCH /v1/data wire format: target, appends, updates)")
 	flag.StringVar(&o.saveModel, "save-model", "", "persist the RLMiner value network to this file")
 	flag.StringVar(&o.loadModel, "load-model", "", "fine-tune a persisted RLMiner model from this file")
 	flag.IntVar(&o.explain, "explain", -1, "print the repair explanation for this tuple index")
@@ -155,6 +160,11 @@ func run(o options) (err error) {
 	p.TopK = o.k
 	p.Parallelism = o.parallel
 	p.ScalarEval = o.scalarEval
+	if o.mutate != "" {
+		if err := applyMutation(p, o.mutate); err != nil {
+			return err
+		}
+	}
 	// One shared master-index cache across mining, reward queries,
 	// repair and explanations: no component rebuilds another's indexes.
 	p.ShareIndexes()
@@ -330,4 +340,73 @@ func loadModelFile(path string) (*erminer.SavedModel, error) {
 	//ermvet:ignore errdrop read-only descriptor; closing cannot lose data
 	defer f.Close()
 	return erminer.LoadModel(f)
+}
+
+// applyMutation applies a data delta from a JSON file in the daemon's
+// PATCH /v1/data wire format — {"target": "input"|"master", "appends":
+// [{col: val}], "updates": [{"row", "attr", "value"}]} — to the loaded
+// problem before mining, so an offline run can reproduce exactly what
+// a patched daemon would see. An empty value means Null.
+func applyMutation(p *erminer.Problem, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var m struct {
+		Target  string              `json:"target"`
+		Appends []map[string]string `json:"appends"`
+		Updates []struct {
+			Row   int    `json:"row"`
+			Attr  string `json:"attr"`
+			Value string `json:"value"`
+		} `json:"updates"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("mutation file %s: %w", path, err)
+	}
+	var rel *erminer.Relation
+	switch strings.ToLower(m.Target) {
+	case "input":
+		rel = p.Input
+	case "master":
+		rel = p.Master
+	default:
+		return fmt.Errorf("mutation file %s: target %q (want input or master)", path, m.Target)
+	}
+	sc := rel.Schema()
+	var d erminer.Delta
+	for _, row := range m.Appends {
+		codes := make([]int32, sc.Len())
+		for i := range codes {
+			codes[i] = erminer.Null
+		}
+		for name, v := range row {
+			idx := sc.Index(name)
+			if idx < 0 {
+				return fmt.Errorf("mutation file %s: unknown column %q", path, name)
+			}
+			if v != "" {
+				codes[idx] = rel.Dict(idx).Code(v)
+			}
+		}
+		d.Appends = append(d.Appends, codes)
+	}
+	for _, u := range m.Updates {
+		idx := sc.Index(u.Attr)
+		if idx < 0 {
+			return fmt.Errorf("mutation file %s: unknown column %q", path, u.Attr)
+		}
+		code := erminer.Null
+		if u.Value != "" {
+			code = rel.Dict(idx).Code(u.Value)
+		}
+		d.Updates = append(d.Updates, erminer.CellUpdate{Row: u.Row, Col: idx, Code: code})
+	}
+	cs, err := rel.ApplyDelta(d)
+	if err != nil {
+		return fmt.Errorf("mutation file %s: %w", path, err)
+	}
+	fmt.Printf("mutated %s: +%d rows, %d columns updated (now %d rows, version %d)\n",
+		strings.ToLower(m.Target), cs.Appended, len(cs.Cols), rel.NumRows(), rel.Version())
+	return nil
 }

@@ -8,7 +8,10 @@
 //	POST /v1/validate      batch of tuples in → per-tuple consistent/violation/missing/uncovered
 //	GET  /v1/rules         active rule set in the portable JSON wire format
 //	PUT  /v1/rules         zero-downtime hot swap of the active rule set
-//	POST /v1/jobs          submit an asynchronous mining job (enuminer, enuminerh3, rlminer, ctane)
+//	PATCH /v1/data         apply a data delta (row appends + cell updates) with
+//	                       incremental index patching and rule re-validation;
+//	                       "remine": true enqueues an RLMiner-ft fine-tune job
+//	POST /v1/jobs          submit an asynchronous mining job (enuminer, enuminerh3, rlminer, rlminer-ft, ctane)
 //	GET  /v1/jobs[/{id}]   job states: queued → running → done | failed
 //	GET  /healthz          liveness + active rule-set generation
 //	GET  /metrics          plain-text counters incl. p50/p99 repair latency
@@ -36,8 +39,10 @@
 // The coordinator serves the same /v1/repair and /v1/validate API,
 // hash-partitions each batch across the workers and merges the results
 // byte-identically to a single node; PUT /v1/rules replicates a rule
-// generation to every worker with a two-phase stage/activate push. It
-// holds no data itself — workers own the master data and rules.
+// generation to every worker with a two-phase stage/activate push, and
+// PATCH /v1/data replicates a data delta to the whole fleet and checks
+// it converged on one data version and rule generation. It holds no
+// data itself — workers own the master data and rules.
 package main
 
 import (

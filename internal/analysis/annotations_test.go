@@ -17,6 +17,7 @@ import (
 func TestGuardedByInventory(t *testing.T) {
 	want := map[string][]string{
 		"../serve/server.go": {
+			"Server.model=modelMu",
 			"Server.p=dictMu",
 			"Server.staged=stagedMu",
 		},
@@ -88,6 +89,7 @@ func TestHotpathInventory(t *testing.T) {
 			"cold:(*Evaluator).fullScanCover",
 		},
 		"../measure/posting.go": {
+			"cold:(*ColumnIndex).sync",
 			"condRows",
 			"intersectInto",
 			"mergeInto",

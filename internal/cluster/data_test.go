@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"erminer/internal/serve"
+)
+
+// TestDataPatchReplicates pins the replicated-data contract: a PATCH
+// /v1/data against the coordinator lands on every worker, the fleet
+// converges on one data version and one rule generation, and repairs
+// routed anywhere in the fleet see the appended master rows.
+func TestDataPatchReplicates(t *testing.T) {
+	c := newCoordinator(t, Config{Workers: newFleet(t, 3)})
+
+	w := do(c, "PATCH", "/v1/data", `{"target": "master", "appends": [
+		{"district": "xy", "area": "010", "postcode": "77777"},
+		{"district": "xy", "area": "020", "postcode": "77777"},
+		{"district": "xy", "area": "030", "postcode": "77777"}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("coordinator PATCH /v1/data: status %d: %s", w.Code, w.Body)
+	}
+	var pr serve.DataPatchResponse
+	decode(t, w, &pr)
+	if pr.AppendedRows != 3 || pr.Rows != 12 || pr.Revalidated != 1 || pr.Dropped != 0 {
+		t.Fatalf("patch response = %+v", pr)
+	}
+	if got := c.metrics.dataPatches.Load(); got != 1 {
+		t.Errorf("dataPatches metric = %d, want 1", got)
+	}
+
+	// Enough tuples that the batch splits across several workers: each
+	// sub-batch must repair from its own replica's patched index.
+	body := `{"tuples": [
+		{"district": "xy", "area": "010"},
+		{"district": "xy", "area": "020"},
+		{"district": "xy", "area": "030"},
+		{"district": "xy", "area": "010"},
+		{"district": "xy", "area": "020"},
+		{"district": "xy", "area": "030"}]}`
+	var rr serve.RepairResponse
+	decode(t, do(c, "POST", "/v1/repair", body), &rr)
+	if len(rr.Fixes) != 6 {
+		t.Fatalf("repairs from patched replicas: %+v", rr.Fixes)
+	}
+	for _, f := range rr.Fixes {
+		if f.New != "77777" {
+			t.Fatalf("fix %+v, want postcode 77777", f)
+		}
+	}
+}
+
+// TestDataPatchDivergenceDetected patches one worker behind the
+// coordinator's back, then pushes a fleet-wide patch: the workers now
+// disagree on the data version and the coordinator must answer 502
+// rather than report a generation the fleet does not share.
+func TestDataPatchDivergenceDetected(t *testing.T) {
+	_, ts0 := newWorker(t, nil)
+	_, ts1 := newWorker(t, nil)
+	c := newCoordinator(t, Config{Workers: []string{ts0.URL, ts1.URL}})
+
+	side := `{"target": "input", "updates": [{"row": 0, "attr": "area", "value": "090"}]}`
+	req, err := http.NewRequest(http.MethodPatch, ts0.URL+"/v1/data", strings.NewReader(side))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("side-channel patch of worker 0: status %d", resp.StatusCode)
+	}
+
+	w := do(c, "PATCH", "/v1/data", `{"target": "input", "updates": [{"row": 1, "attr": "area", "value": "091"}]}`)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("patch over a diverged fleet: status %d, want 502 (%s)", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "diverged") {
+		t.Errorf("divergence error body = %s", w.Body)
+	}
+}
+
+// TestDataPatchRejectsBadRequests: malformed fleet patches die at the
+// coordinator without touching any worker.
+func TestDataPatchRejectsBadRequests(t *testing.T) {
+	s, ts := newWorker(t, nil)
+	c := newCoordinator(t, Config{Workers: []string{ts.URL}})
+
+	// A no-op patch reads the worker's current data version without
+	// bumping it: the probe for "nothing reached the worker".
+	dataVersion := func() int64 {
+		var pr serve.DataPatchResponse
+		decode(t, do(s, "PATCH", "/v1/data",
+			`{"target": "input", "updates": [{"row": 0, "attr": "district", "value": "hz"}]}`), &pr)
+		return pr.DataVersion
+	}
+
+	before := dataVersion()
+	for name, body := range map[string]string{
+		"empty delta":   `{"target": "input"}`,
+		"unknown field": `{"target": "input", "rows": []}`,
+		"bad json":      `{"target": `,
+		"trailing data": `{"target": "input", "updates": [{"row": 0, "attr": "area", "value": "x"}]} garbage`,
+	} {
+		if w := do(c, "PATCH", "/v1/data", body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, w.Code, w.Body)
+		}
+	}
+	if got := dataVersion(); got != before {
+		t.Errorf("a rejected fleet patch reached the worker: version %d -> %d", before, got)
+	}
+}
+
+// TestDataPatchClosedCoordinator: a draining coordinator refuses new
+// data mutations like it refuses rule pushes.
+func TestDataPatchClosedCoordinator(t *testing.T) {
+	c := newCoordinator(t, Config{Workers: newFleet(t, 1)})
+	done := make(chan struct{})
+	time.AfterFunc(5*time.Second, func() { close(done) })
+	if err := c.Shutdown(done); err != nil {
+		t.Fatal(err)
+	}
+	w := do(c, "PATCH", "/v1/data", `{"target": "input", "updates": [{"row": 0, "attr": "area", "value": "x"}]}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("patch on a closed coordinator: status %d, want 503", w.Code)
+	}
+}

@@ -44,7 +44,7 @@ func (c *Coordinator) dispatch(ctx context.Context, path string, body []byte, pi
 			}
 			backoff *= 2
 		}
-		data, err := c.tryWorker(ctx, pinned, path, body)
+		data, err := c.tryWorker(ctx, pinned, http.MethodPost, path, body)
 		if err == nil {
 			return data, nil
 		}
@@ -68,7 +68,7 @@ func (c *Coordinator) dispatch(ctx context.Context, path string, body []byte, pi
 			continue
 		}
 		c.metrics.redispatches.Add(1)
-		data, err := c.tryWorker(ctx, j, path, body)
+		data, err := c.tryWorker(ctx, j, http.MethodPost, path, body)
 		if err == nil {
 			return data, nil
 		}
@@ -82,13 +82,13 @@ func (c *Coordinator) dispatch(ctx context.Context, path string, body []byte, pi
 	return nil, fmt.Errorf("all workers failed for %s sub-batch pinned to worker %d: %w", path, pinned, lastErr)
 }
 
-// tryWorker makes one POST attempt against one worker, bounded by the
-// per-worker timeout. A non-200 answer comes back as *passthrough so
-// the caller can distinguish retryable statuses from client errors.
-func (c *Coordinator) tryWorker(ctx context.Context, i int, path string, body []byte) ([]byte, error) {
+// tryWorker makes one request attempt against one worker, bounded by
+// the per-worker timeout. A non-200 answer comes back as *passthrough
+// so the caller can distinguish retryable statuses from client errors.
+func (c *Coordinator) tryWorker(ctx context.Context, i int, method, path string, body []byte) ([]byte, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.perWorkerTimeout())
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.workers[i]+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(actx, method, c.workers[i]+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@ func (c *Coordinator) routes() {
 	mux.HandleFunc("POST /v1/validate", c.handleValidate)
 	mux.HandleFunc("GET /v1/rules", c.handleRulesGet)
 	mux.HandleFunc("PUT /v1/rules", c.handleRulesPut)
+	mux.HandleFunc("PATCH /v1/data", c.handleDataPatch)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	c.mux = mux
@@ -307,7 +308,7 @@ func (c *Coordinator) handleRulesPut(w http.ResponseWriter, r *http.Request) {
 
 	// Phase 1: stage everywhere. No hedging — a stage must land on the
 	// very worker it targets, there is no substitute.
-	staged, err := c.pushAll(ctx, "/v1/rules/stage", body)
+	staged, err := c.pushAll(ctx, http.MethodPost, "/v1/rules/stage", body)
 	if err != nil {
 		c.relayPushError(w, "staging rules", err)
 		return
@@ -333,7 +334,7 @@ func (c *Coordinator) handleRulesPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "encoding activate request: %v", err)
 		return
 	}
-	activated, err := c.pushAll(ctx, "/v1/rules/activate", actBody)
+	activated, err := c.pushAll(ctx, http.MethodPost, "/v1/rules/activate", actBody)
 	if err != nil {
 		c.relayPushError(w, "activating rules", err)
 		return
@@ -356,11 +357,79 @@ func (c *Coordinator) handleRulesPut(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"version": version, "count": count, "etag": etag})
 }
 
-// pushAll posts one body to every worker concurrently (with the
+// handleDataPatch replicates a data delta to the whole fleet. Master
+// and input data are replicated, not sharded — every worker holds the
+// full relations, which is what lets sub-batches hedge to any peer —
+// so the "owning shard" of a delta is every worker: the coordinator
+// pushes the same PATCH /v1/data to all of them under the push lock
+// (serialized with rule pushes, whose generations a patch also
+// advances) and then verifies the fleet converged on one data_version
+// and one rules_etag. Divergence means a worker applied the delta to
+// different data than its peers — the same skew the two-phase rule
+// push exists to prevent — and is reported as a 502 rather than
+// papered over.
+func (c *Coordinator) handleDataPatch(w http.ResponseWriter, r *http.Request) {
+	if c.closed.Load() {
+		httpError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.maxBody()))
+	dec.DisallowUnknownFields()
+	var req serve.DataPatchRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", errors.New("trailing data after JSON body"))
+		return
+	}
+	if len(req.Appends)+len(req.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, "empty delta: no appends and no updates")
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding patch request: %v", err)
+		return
+	}
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.requestTimeout())
+	defer cancel()
+	raws, err := c.pushAll(ctx, http.MethodPatch, "/v1/data", body)
+	if err != nil {
+		c.relayPushError(w, "patching data", err)
+		return
+	}
+	var first serve.DataPatchResponse
+	for i, raw := range raws {
+		var pr serve.DataPatchResponse
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			httpError(w, http.StatusBadGateway, "decoding worker %d patch response: %v", i, err)
+			return
+		}
+		c.reg.markAlive(i, pr.RulesETag, pr.RulesVersion)
+		if i == 0 {
+			first = pr
+			continue
+		}
+		if pr.DataVersion != first.DataVersion || pr.RulesETag != first.RulesETag {
+			httpError(w, http.StatusBadGateway,
+				"workers diverged after the data patch (worker %d: data_version %d, rules_etag %s; worker 0: data_version %d, rules_etag %s)",
+				i, pr.DataVersion, pr.RulesETag, first.DataVersion, first.RulesETag)
+			return
+		}
+	}
+	c.metrics.dataPatches.Add(1)
+	writeJSON(w, http.StatusOK, first)
+}
+
+// pushAll sends one body to every worker concurrently (with the
 // dispatch path's per-attempt timeout and retry budget, but no
 // cross-worker hedging) and returns all responses, or the
 // lowest-indexed error.
-func (c *Coordinator) pushAll(ctx context.Context, path string, body []byte) ([][]byte, error) {
+func (c *Coordinator) pushAll(ctx context.Context, method, path string, body []byte) ([][]byte, error) {
 	n := len(c.workers)
 	data := make([][]byte, n)
 	errs := make([]error, n)
@@ -369,7 +438,7 @@ func (c *Coordinator) pushAll(ctx context.Context, path string, body []byte) ([]
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			data[i], errs[i] = c.postWithRetry(ctx, i, path, body)
+			data[i], errs[i] = c.postWithRetry(ctx, i, method, path, body)
 		}(i)
 	}
 	wg.Wait()
@@ -383,7 +452,7 @@ func (c *Coordinator) pushAll(ctx context.Context, path string, body []byte) ([]
 
 // postWithRetry is the single-worker analogue of dispatch: bounded
 // retries with backoff on the one target, no failover.
-func (c *Coordinator) postWithRetry(ctx context.Context, i int, path string, body []byte) ([]byte, error) {
+func (c *Coordinator) postWithRetry(ctx context.Context, i int, method, path string, body []byte) ([]byte, error) {
 	backoff := c.cfg.retryBackoff()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.retries(); attempt++ {
@@ -394,7 +463,7 @@ func (c *Coordinator) postWithRetry(ctx context.Context, i int, path string, bod
 			}
 			backoff *= 2
 		}
-		data, err := c.tryWorker(ctx, i, path, body)
+		data, err := c.tryWorker(ctx, i, method, path, body)
 		if err == nil {
 			return data, nil
 		}

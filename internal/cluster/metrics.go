@@ -30,6 +30,7 @@ type metrics struct {
 	redispatches     atomic.Int64 // sub-batches hedged to a different worker
 	workerFailures   atomic.Int64 // workers marked dead by the dispatch path
 	rulePushes       atomic.Int64 // successful two-phase rule pushes
+	dataPatches      atomic.Int64 // data deltas replicated to the fleet
 	healthChecks     atomic.Int64 // completed health-check rounds
 
 	latMu sync.Mutex
@@ -86,6 +87,7 @@ func (m *metrics) write(w io.Writer, healthy, skew int, generation int64) {
 	fmt.Fprintf(w, "ermcluster_redispatches_total %d\n", m.redispatches.Load())
 	fmt.Fprintf(w, "ermcluster_worker_failures_total %d\n", m.workerFailures.Load())
 	fmt.Fprintf(w, "ermcluster_rule_pushes_total %d\n", m.rulePushes.Load())
+	fmt.Fprintf(w, "ermcluster_data_patches_total %d\n", m.dataPatches.Load())
 	fmt.Fprintf(w, "ermcluster_rules_generation %d\n", generation)
 	fmt.Fprintf(w, "ermcluster_health_checks_total %d\n", m.healthChecks.Load())
 	// As on the workers: every outcome is counted, so the percentiles can

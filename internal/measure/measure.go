@@ -120,11 +120,13 @@ type Evaluator struct {
 
 	// memoRule/memoProj memoise the last rule's group projection on
 	// pointer identity, skipping the cache mutex on the common
-	// many-Evaluate-calls-per-rule pattern. memoVersion guards against
-	// input mutation between calls.
-	memoRule    *rule.Rule
-	memoProj    *groupProjection
-	memoVersion int64
+	// many-Evaluate-calls-per-rule pattern. memoVersion and
+	// memoMasterVersion guard against input and master mutation between
+	// calls (the projection captures master histograms at build time).
+	memoRule          *rule.Rule
+	memoProj          *groupProjection
+	memoVersion       int64
+	memoMasterVersion int64
 
 	// coverFree is the freelist of cover buffers handed back through
 	// ReleaseCover; getCover pops from it so steady-state evaluation is
@@ -614,7 +616,7 @@ func (e *Evaluator) columnarFullCover(r *rule.Rule) []int32 {
 //
 //ermvet:hotpath
 func (e *Evaluator) ruleProjection(r *rule.Rule) *groupProjection {
-	if e.memoRule == r && e.memoVersion == e.input.Version() {
+	if e.memoRule == r && e.memoVersion == e.input.Version() && e.memoMasterVersion == e.master.Version() {
 		return e.memoProj
 	}
 	idx := e.index(r)
@@ -624,6 +626,7 @@ func (e *Evaluator) ruleProjection(r *rule.Rule) *groupProjection {
 		return buildProjection(e.input, r.LHS, idx)
 	})
 	e.memoRule, e.memoProj, e.memoVersion = r, gp, e.input.Version()
+	e.memoMasterVersion = e.master.Version()
 	return gp
 }
 

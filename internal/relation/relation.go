@@ -194,10 +194,21 @@ type Relation struct {
 	// indexed by column then row; nil for discrete columns.
 	nums [][]float64
 	n    int
-	// version counts mutations (AppendCodes, SetCode) so derived caches
-	// such as measure.ColumnIndex can detect staleness cheaply.
+	// version counts mutations (AppendCodes, SetCode, ApplyDelta) so
+	// derived caches such as measure.ColumnIndex can detect staleness
+	// cheaply.
 	version int64
+	// log records what each recent version step changed (bounded to
+	// maxChangeLog entries), so derived structures can patch themselves
+	// instead of rebuilding; see ChangesSince.
+	log []ChangeSet
 }
+
+// maxChangeLog bounds the per-relation change log. A derived structure
+// whose build version has fallen further behind than the log covers
+// falls back to a full rebuild, so the bound trades patchability for
+// memory; deltas batch arbitrarily many mutations into one entry.
+const maxChangeLog = 64
 
 // New creates an empty relation over schema, drawing dictionaries from pool.
 func New(schema *Schema, pool *Pool) *Relation {
@@ -255,20 +266,36 @@ func (r *Relation) AppendCodes(codes []int32) {
 	}
 	for i, c := range codes {
 		r.cols[i] = append(r.cols[i], c)
+		// Extend resident numeric caches in place instead of dropping the
+		// whole cache: untouched columns keep their parsed values and only
+		// the one appended cell is parsed.
+		if r.nums[i] != nil {
+			v, ok := r.NumericValue(r.n, i)
+			if !ok {
+				v = math.Inf(-1)
+			}
+			r.nums[i] = append(r.nums[i], v)
+		}
 	}
-	r.nums = make([][]float64, r.schema.Len()) // invalidate numeric cache
 	r.n++
 	r.version++
+	r.logChange(ChangeSet{From: r.version - 1, To: r.version, OldRows: r.n - 1, Appended: 1})
 }
 
 // Code returns the dictionary code of cell (row, col).
 func (r *Relation) Code(row, col int) int32 { return r.cols[col][row] }
 
-// SetCode overwrites cell (row, col) with a code.
+// SetCode overwrites cell (row, col) with a code. Writing the value the
+// cell already holds is a no-op: the version counter is not bumped and
+// no caches are invalidated.
 func (r *Relation) SetCode(row, col int, code int32) {
+	if r.cols[col][row] == code {
+		return
+	}
 	r.cols[col][row] = code
 	r.nums[col] = nil
 	r.version++
+	r.logChange(ChangeSet{From: r.version - 1, To: r.version, OldRows: r.n, Cols: []int{col}})
 }
 
 // Version returns the relation's mutation counter: it changes whenever

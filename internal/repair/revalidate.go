@@ -1,0 +1,74 @@
+// Delta re-validation of an active rule set (ISSUE 9): after a data
+// mutation, only the rules whose attribute footprint intersects the
+// changed columns need re-scoring, mirroring the rule-selection
+// refinement loop of the knowledge-refinement literature. The serving
+// layer calls Revalidate after Relation.ApplyDelta to decide which
+// rules survive into the next generation without re-mining.
+
+package repair
+
+import (
+	"erminer/internal/core"
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+)
+
+// TouchedBy reports whether a rule's measures could have changed under
+// the given change set. master selects which side's footprint is
+// tested: the input side reads the LHS Input attributes, the pattern
+// attributes and Y (through Truth when labelled data stands in);
+// the master side reads the LHS Master attributes and Y_m. Appended
+// rows enlarge every rule's evaluation universe, so any append touches
+// every rule.
+func TouchedBy(r *rule.Rule, ch relation.ChangeSet, master bool) bool {
+	if ch.Appended > 0 {
+		return true
+	}
+	if master {
+		for _, p := range r.LHS {
+			if ch.Touches(p.Master) {
+				return true
+			}
+		}
+		return ch.Touches(r.Ym)
+	}
+	for _, p := range r.LHS {
+		if ch.Touches(p.Input) {
+			return true
+		}
+	}
+	for _, c := range r.Pattern {
+		if ch.Touches(c.Attr) {
+			return true
+		}
+	}
+	return ch.Touches(r.Y)
+}
+
+// Revalidate re-scores the rules selected by touched against ev,
+// refreshing their Measures and dropping the ones that no longer clear
+// the thresholds (Support ≥ etaS, Utility > 0). Untouched rules are
+// passed through with their existing measures. The returned kept slice
+// preserves input order; revalidated counts the rules re-scored and
+// dropped the rules removed. Covers are not retained: the stored
+// Measures carry a nil PatternCover, since evaluator cover buffers are
+// recycled and must not outlive the call.
+func Revalidate(ev *measure.Evaluator, rules []core.MinedRule, etaS int, touched func(*rule.Rule) bool) (kept []core.MinedRule, revalidated, dropped int) {
+	kept = make([]core.MinedRule, 0, len(rules))
+	for _, mr := range rules {
+		if touched == nil || touched(mr.Rule) {
+			revalidated++
+			m := ev.Evaluate(mr.Rule, nil)
+			ev.ReleaseCover(m.PatternCover)
+			m.PatternCover = nil
+			if m.Support < etaS || m.Utility <= 0 {
+				dropped++
+				continue
+			}
+			mr.Measures = m
+		}
+		kept = append(kept, mr)
+	}
+	return kept, revalidated, dropped
+}

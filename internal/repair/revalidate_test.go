@@ -1,0 +1,77 @@
+package repair
+
+import (
+	"testing"
+
+	"erminer/internal/core"
+	"erminer/internal/measure"
+	"erminer/internal/relation"
+	"erminer/internal/rule"
+)
+
+func TestTouchedBy(t *testing.T) {
+	r := rule.New(
+		[]rule.AttrPair{{Input: 0, Master: 0}},
+		2, 1,
+		[]rule.Condition{rule.NewCondition(1, []int32{3}, "")},
+	)
+	cases := []struct {
+		name   string
+		ch     relation.ChangeSet
+		master bool
+		want   bool
+	}{
+		{"append touches everything", relation.ChangeSet{Appended: 1}, false, true},
+		{"append touches master side too", relation.ChangeSet{Appended: 1}, true, true},
+		{"input LHS column", relation.ChangeSet{Cols: []int{0}}, false, true},
+		{"input pattern column", relation.ChangeSet{Cols: []int{1}}, false, true},
+		{"input Y column", relation.ChangeSet{Cols: []int{2}}, false, true},
+		{"unrelated input column", relation.ChangeSet{Cols: []int{7}}, false, false},
+		{"master LHS column", relation.ChangeSet{Cols: []int{0}}, true, true},
+		{"master Ym column", relation.ChangeSet{Cols: []int{1}}, true, true},
+		{"unrelated master column", relation.ChangeSet{Cols: []int{2}}, true, false},
+	}
+	for _, c := range cases {
+		if got := TouchedBy(r, c.ch, c.master); got != c.want {
+			t.Errorf("%s: TouchedBy = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRevalidateRescoresAndDrops(t *testing.T) {
+	input, master := fixture()
+	// Labelled truth agreeing with the majority fixes keeps Quality — and
+	// hence Utility — positive for the surviving rule.
+	v1, _ := master.Dict(1).Lookup("v1")
+	v2, _ := master.Dict(1).Lookup("v2")
+	truth := []int32{v1, v2, relation.Null}
+	ev := measure.NewEvaluator(input, master, truth)
+	good := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 1, nil)
+	// A rule whose pattern matches nothing: Support 0, must be dropped.
+	gone := rule.New([]rule.AttrPair{{Input: 0, Master: 0}}, 2, 1,
+		[]rule.Condition{rule.NewCondition(1, []int32{int32(input.Dict(1).Size()) + 5}, "")})
+	rules := []core.MinedRule{
+		{Rule: good, Measures: measure.Measures{Support: -1}}, // stale on purpose
+		{Rule: gone, Measures: measure.Measures{Support: 99, Utility: 9}},
+	}
+	kept, revalidated, dropped := Revalidate(ev, rules, 1, nil)
+	if revalidated != 2 || dropped != 1 || len(kept) != 1 {
+		t.Fatalf("revalidated=%d dropped=%d kept=%d, want 2/1/1", revalidated, dropped, len(kept))
+	}
+	if kept[0].Rule != good {
+		t.Fatal("wrong rule survived")
+	}
+	if kept[0].Measures.Support <= 0 {
+		t.Errorf("measures not refreshed: %+v", kept[0].Measures)
+	}
+	if kept[0].Measures.PatternCover != nil {
+		t.Error("kept measures must not retain a recycled cover buffer")
+	}
+	// Want-based selection: an untouched rule passes through unscored.
+	stale := measure.Measures{Support: -7}
+	rules = []core.MinedRule{{Rule: good, Measures: stale}}
+	kept, revalidated, dropped = Revalidate(ev, rules, 1, func(*rule.Rule) bool { return false })
+	if revalidated != 0 || dropped != 0 || len(kept) != 1 || kept[0].Measures.Support != -7 {
+		t.Fatalf("untouched rule was rescored: revalidated=%d kept=%+v", revalidated, kept)
+	}
+}

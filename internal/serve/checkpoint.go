@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -29,6 +30,9 @@ type jobManifest struct {
 // files are removed once the job reaches a terminal state — only a
 // process death leaves them behind.
 func (s *Server) runRLMinerJob(j *job, p *core.Problem) (*core.ResultSet, error) {
+	if j.spec.Method == "rlminer-ft" {
+		return s.runFineTuneJob(j, p)
+	}
 	cfg := rlminer.Config{
 		TrainSteps: j.spec.Steps,
 		Seed:       j.spec.Seed,
@@ -36,7 +40,12 @@ func (s *Server) runRLMinerJob(j *job, p *core.Problem) (*core.ResultSet, error)
 	}
 	dir := s.cfg.CheckpointDir
 	if dir == "" {
-		return rlminer.New(cfg).Mine(p)
+		m := rlminer.New(cfg)
+		res, err := m.Mine(p)
+		if err == nil {
+			s.retainModel(m)
+		}
+		return res, err
 	}
 
 	specPath := filepath.Join(dir, j.ckBase+".spec.json")
@@ -62,13 +71,76 @@ func (s *Server) runRLMinerJob(j *job, p *core.Problem) (*core.ResultSet, error)
 		if ck, rerr := rlminer.ReadCheckpointFile(ckPath); rerr == nil {
 			m := rlminer.New(cfg)
 			if res, rerr := m.ResumeMine(p, ck); rerr == nil {
+				s.retainModel(m)
 				return res, nil
 			}
 			// A corrupt or mismatched checkpoint falls back to a fresh
 			// run rather than failing the recovered job.
 		}
 	}
-	return rlminer.New(cfg).Mine(p)
+	m := rlminer.New(cfg)
+	res, err := m.Mine(p)
+	if err == nil {
+		s.retainModel(m)
+	}
+	return res, err
+}
+
+// runFineTuneJob is RLMiner-ft as a serving job: after a data patch
+// enriched the corpus, fine-tune the retained value network for a
+// reduced step budget instead of training from scratch. The job fails
+// up front when no rlminer job has retained a model yet. Fine-tune
+// budgets are small, so these jobs are not checkpointed.
+func (s *Server) runFineTuneJob(j *job, p *core.Problem) (*core.ResultSet, error) {
+	saved, err := s.retainedModel()
+	if err != nil {
+		return nil, err
+	}
+	cfg := rlminer.Config{
+		FineTuneSteps: j.spec.Steps,
+		Seed:          j.spec.Seed,
+		Progress:      j.setProgress,
+	}
+	return rlminer.New(cfg).MineFineTunedFromSaved(p, saved)
+}
+
+// retainModel keeps the SaveModel bytes of a just-trained miner so a
+// later rlminer-ft job can fine-tune it. Retention is best-effort: a
+// model that cannot serialize leaves the previous one in place.
+func (s *Server) retainModel(m *rlminer.Miner) {
+	var buf bytes.Buffer
+	if err := m.SaveModel(&buf); err != nil {
+		return
+	}
+	s.modelMu.Lock()
+	s.model = buf.Bytes()
+	s.modelMu.Unlock()
+}
+
+// retainedModel reloads the retained network for fine-tuning.
+func (s *Server) retainedModel() (*rlminer.SavedModel, error) {
+	s.modelMu.Lock()
+	data := s.model
+	s.modelMu.Unlock()
+	if data == nil {
+		return nil, fmt.Errorf("serve: no retained rlminer model to fine-tune (run an rlminer job first)")
+	}
+	return rlminer.LoadModel(bytes.NewReader(data))
+}
+
+// remineClears is the activation gate of an RLMiner-ft job: every
+// mined rule must still clear the thresholds (Support ≥ η_s, positive
+// Utility) on the enriched data, and the set must be non-empty.
+func remineClears(res *core.ResultSet, etaS int) bool {
+	if len(res.Rules) == 0 {
+		return false
+	}
+	for _, mr := range res.Rules {
+		if mr.Measures.Support < etaS || mr.Measures.Utility <= 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // recoverJobs scans Config.CheckpointDir for manifests of rlminer jobs

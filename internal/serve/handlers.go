@@ -23,6 +23,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("PUT /v1/rules", s.handleRulesPut)
 	mux.HandleFunc("POST /v1/rules/stage", s.handleRulesStage)
 	mux.HandleFunc("POST /v1/rules/activate", s.handleRulesActivate)
+	mux.HandleFunc("PATCH /v1/data", s.handleDataPatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobsPost)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobsGet)

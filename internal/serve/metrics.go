@@ -32,6 +32,7 @@ type metrics struct {
 	indexBuilds      atomic.Int64 // master indexes built (cache misses) on the serving path
 	ruleSwaps        atomic.Int64 // successful rule-set activations
 	rulesStaged      atomic.Int64 // generations parked by POST /v1/rules/stage
+	dataPatches      atomic.Int64 // deltas applied by PATCH /v1/data
 	jobsDone         atomic.Int64
 	jobsFailed       atomic.Int64
 	jobsRecovered    atomic.Int64 // jobs resumed from checkpoints at startup
@@ -97,6 +98,7 @@ func (m *metrics) write(w io.Writer, rulesActive int, rulesVersion int64, jobsQu
 	fmt.Fprintf(w, "erminerd_rules_version %d\n", rulesVersion)
 	fmt.Fprintf(w, "erminerd_rule_swaps_total %d\n", m.ruleSwaps.Load())
 	fmt.Fprintf(w, "erminerd_rules_staged_total %d\n", m.rulesStaged.Load())
+	fmt.Fprintf(w, "erminerd_data_patches_total %d\n", m.dataPatches.Load())
 	fmt.Fprintf(w, "erminerd_jobs_queued %d\n", jobsQueued)
 	fmt.Fprintf(w, "erminerd_jobs_running %d\n", jobsRunning)
 	fmt.Fprintf(w, "erminerd_jobs_done_total %d\n", m.jobsDone.Load())

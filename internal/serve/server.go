@@ -176,6 +176,12 @@ type Server struct {
 	stagedMu sync.Mutex
 	staged   *stagedRules // guarded by stagedMu
 
+	// modelMu guards the retained value network: the SaveModel bytes of
+	// the last successful rlminer job, which an rlminer-ft job
+	// fine-tunes after a data patch instead of training from scratch.
+	modelMu sync.Mutex
+	model   []byte // guarded by modelMu
+
 	jobs    *jobManager
 	metrics *metrics
 	closed  atomic.Bool
@@ -369,10 +375,12 @@ func newMiner(spec JobSpec) (core.Miner, error) {
 		return enuminer.NewH3(enuminer.Config{}), nil
 	case "rlminer":
 		return rlminer.New(rlminer.Config{TrainSteps: spec.Steps, Seed: spec.Seed}), nil
+	case "rlminer-ft":
+		return rlminer.New(rlminer.Config{FineTuneSteps: spec.Steps, Seed: spec.Seed}), nil
 	case "ctane":
 		return cfd.New(cfd.Config{}), nil
 	default:
-		return nil, fmt.Errorf("serve: unknown method %q (want enuminer, enuminerh3, rlminer or ctane)", spec.Method)
+		return nil, fmt.Errorf("serve: unknown method %q (want enuminer, enuminerh3, rlminer, rlminer-ft or ctane)", spec.Method)
 	}
 }
 
@@ -411,7 +419,7 @@ func (s *Server) runJob(j *job) {
 	var p *core.Problem
 	var res *core.ResultSet
 	var err error
-	if j.spec.Method == "rlminer" {
+	if j.spec.Method == "rlminer" || j.spec.Method == "rlminer-ft" {
 		p = s.jobProblem(j)
 		res, err = s.runRLMinerJob(j, p)
 	} else {
@@ -433,7 +441,11 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	var activated int64
-	if j.spec.Activate {
+	// An RLMiner-ft generation is threshold-gated: a fine-tune whose
+	// rules degraded below η_s (or mined nothing) must not displace the
+	// serving set, so the job completes with its rules exported but
+	// nothing activated.
+	if j.spec.Activate && (j.spec.Method != "rlminer-ft" || remineClears(res, p.SupportThreshold)) {
 		v, _, err := s.SwapRules(data)
 		if err != nil {
 			j.setFailed(fmt.Errorf("mined %d rules but activation failed: %w", len(res.Rules), err))

@@ -1,6 +1,6 @@
 #!/bin/sh
-# bench.sh — record the benchmark baselines into BENCH_hotpath.json and
-# BENCH_parallel.json.
+# bench.sh — record the benchmark baselines into BENCH_hotpath.json,
+# BENCH_parallel.json and BENCH_delta.json.
 #
 # Runs the evaluation hot-path benchmarks — BenchmarkEvaluate/{columnar,
 # scalar} in bench_test.go and BenchmarkRepairThroughput in
@@ -15,6 +15,9 @@
 # TestEvaluateZeroAlloc instead (see .github/workflows/ci.yml).
 #
 # BENCHTIME=5s ./scripts/bench.sh  to trade time for tighter numbers.
+# BENCH_ONLY=delta ./scripts/bench.sh  re-records only BENCH_delta.json
+# (after touching the delta-maintenance layer without moving the hot
+# path).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,12 +26,6 @@ benchtime="${BENCHTIME:-2s}"
 out=BENCH_hotpath.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-
-echo "== go test -bench BenchmarkEvaluate (-benchtime $benchtime)" >&2
-go test -run '^$' -bench 'BenchmarkEvaluate$' -benchmem -benchtime "$benchtime" . | tee -a "$raw" >&2
-
-echo "== go test -bench BenchmarkRepairThroughput ./internal/serve" >&2
-go test -run '^$' -bench 'BenchmarkRepairThroughput$' -benchmem -benchtime "$benchtime" ./internal/serve | tee -a "$raw" >&2
 
 # metric <benchmark name> <unit> — pull one value out of the raw
 # `go test -bench` output. Benchmark lines interleave values with their
@@ -40,6 +37,72 @@ metric() {
             for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit }
         }' "$raw"
 }
+
+# record_delta runs BenchmarkApplyDelta/{patched,rebuild} — absorbing a
+# cell update by patching the caches through the relation change log
+# versus rebuilding them from scratch — and rewrites BENCH_delta.json.
+record_delta() {
+    echo "== go test -bench BenchmarkApplyDelta ./internal/measure (-benchtime $benchtime)" >&2
+    go test -run '^$' -bench 'BenchmarkApplyDelta$' -benchmem -benchtime "$benchtime" ./internal/measure | tee -a "$raw" >&2
+
+    ad_p_ns=$(metric 'BenchmarkApplyDelta/patched' 'ns/op')
+    ad_p_allocs=$(metric 'BenchmarkApplyDelta/patched' 'allocs/op')
+    ad_p_iters=$(awk '$1 ~ "^BenchmarkApplyDelta/patched(-[0-9]+)?$" { print $2; exit }' "$raw")
+    ad_r_ns=$(metric 'BenchmarkApplyDelta/rebuild' 'ns/op')
+    ad_r_allocs=$(metric 'BenchmarkApplyDelta/rebuild' 'allocs/op')
+    ad_r_iters=$(awk '$1 ~ "^BenchmarkApplyDelta/rebuild(-[0-9]+)?$" { print $2; exit }' "$raw")
+    for v in "$ad_p_ns" "$ad_p_allocs" "$ad_r_ns" "$ad_r_allocs"; do
+        if [ -z "$v" ]; then
+            echo "bench.sh: failed to parse a delta-benchmark metric" >&2
+            exit 1
+        fi
+    done
+    ad_speedup=$(awk -v r="$ad_r_ns" -v p="$ad_p_ns" 'BEGIN { printf "%.1f", r / p }')
+    dcpu=$(awk -F': ' '/^cpu:/ { print $2; exit }' "$raw")
+
+    cat > BENCH_delta.json <<EOF
+{
+  "description": "Baseline for delta maintenance (DESIGN.md decision 19). Each iteration applies a one-cell update delta to the guard column of a 4000-row synthetic input and re-evaluates the full synthRules set. The patched subbench absorbs the delta through Relation.ApplyDelta plus change-log patching in ColumnIndex/IndexCache, keeping untouched posting lists, group projections and master indexes; the rebuild subbench discards every cache after the delta, which is what a version bump cost before the patch-don't-drop layer. patched_speedup_over_rebuild must stay > 1 — if it regresses, incremental maintenance has stopped paying for itself.",
+  "recorded": "$(date +%Y-%m-%d)",
+  "recorded_with": "scripts/bench.sh (benchtime $benchtime)",
+  "host": {
+    "go": "$(go version | awk '{print $3}')",
+    "goos": "$(go env GOOS)",
+    "goarch": "$(go env GOARCH)",
+    "cpu": "${dcpu:-unknown}",
+    "cores": $(nproc)
+  },
+  "benchmarks": {
+    "BenchmarkApplyDelta/patched": {
+      "dataset": "synth 4000x4000, one-cell guard update per op, 12 rules re-evaluated",
+      "iterations": ${ad_p_iters:-0},
+      "ns_per_op": $ad_p_ns,
+      "allocs_per_op": $ad_p_allocs
+    },
+    "BenchmarkApplyDelta/rebuild": {
+      "dataset": "synth 4000x4000, one-cell guard update per op, 12 rules re-evaluated",
+      "iterations": ${ad_r_iters:-0},
+      "ns_per_op": $ad_r_ns,
+      "allocs_per_op": $ad_r_allocs
+    }
+  },
+  "patched_speedup_over_rebuild": $ad_speedup
+}
+EOF
+
+    echo "wrote BENCH_delta.json (patched ${ad_p_ns} ns/op vs rebuild ${ad_r_ns} ns/op; ${ad_speedup}x)" >&2
+}
+
+if [ "${BENCH_ONLY:-all}" = "delta" ]; then
+    record_delta
+    exit 0
+fi
+
+echo "== go test -bench BenchmarkEvaluate (-benchtime $benchtime)" >&2
+go test -run '^$' -bench 'BenchmarkEvaluate$' -benchmem -benchtime "$benchtime" . | tee -a "$raw" >&2
+
+echo "== go test -bench BenchmarkRepairThroughput ./internal/serve" >&2
+go test -run '^$' -bench 'BenchmarkRepairThroughput$' -benchmem -benchtime "$benchtime" ./internal/serve | tee -a "$raw" >&2
 
 col_ns=$(metric 'BenchmarkEvaluate/columnar' 'ns/op')
 col_allocs=$(metric 'BenchmarkEvaluate/columnar' 'allocs/op')
@@ -159,3 +222,5 @@ cat > "$pout" <<EOF
 EOF
 
 echo "wrote $pout (columnar scan ${ep_col_ns} ns/op speedup ${ep_col_speedup}; scalar scan ${ep_sc_ns} ns/op speedup ${ep_sc_speedup}; enuminer ${em_ns} ns/op speedup ${em_speedup})" >&2
+
+record_delta

@@ -93,4 +93,10 @@ echo "== cluster chaos smoke"
 # SIGKILLed mid-batch-loop (see scripts/cluster_smoke.sh).
 sh scripts/cluster_smoke.sh
 
+echo "== data patch smoke"
+# PATCH /v1/data on a live daemon, then require its repairs to match a
+# fresh daemon started from CSVs already containing the delta (see
+# scripts/patch_smoke.sh).
+sh scripts/patch_smoke.sh
+
 echo "check: OK"
