@@ -11,7 +11,9 @@
 //	go run ./cmd/ermvet -checks detrand,maporder ./...
 //	go run ./cmd/ermvet -checks all -json ./...
 //	go run ./cmd/ermvet -sarif ./... > ermvet.sarif
+//	go run ./cmd/ermvet -timing ./...
 //	go run ./cmd/ermvet -update-wire
+//	go run ./cmd/ermvet -update-metrics
 //	go run ./cmd/ermvet -list
 //
 // Patterns are module-root-relative directories; a trailing /... matches
@@ -25,7 +27,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"erminer/internal/analysis"
 )
@@ -36,8 +40,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as newline-delimited JSON, including suppressed ones")
 	sarifOut := flag.Bool("sarif", false, "emit findings as one SARIF 2.1.0 document, including suppressed ones")
 	updateWire := flag.Bool("update-wire", false, "regenerate the golden wire-shape manifest and exit")
+	updateMetrics := flag.Bool("update-metrics", false, "regenerate the golden metric-name manifest and exit")
+	timing := flag.Bool("timing", false, "report per-check wall time (stderr table; timing records in -json; run properties in -sarif)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ermvet [-list] [-checks name,...] [-json|-sarif] [-update-wire] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ermvet [-list] [-checks name,...] [-json|-sarif] [-timing] [-update-wire] [-update-metrics] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,7 +53,7 @@ func main() {
 
 	if *listChecks {
 		for _, c := range analysis.AllChecks {
-			fmt.Printf("%-11s %s\n", c.Name, c.Doc)
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
 		}
 		return
 	}
@@ -73,12 +79,20 @@ func main() {
 		fmt.Printf("ermvet: wrote %s\n", analysis.WireManifestPath)
 		return
 	}
+	metricsPath := filepath.Join(root, filepath.FromSlash(analysis.MetricsManifestPath))
+	if *updateMetrics {
+		if err := analysis.UpdateMetricsManifest(pkgs).WriteMetricsManifest(metricsPath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ermvet: wrote %s\n", analysis.MetricsManifestPath)
+		return
+	}
 
-	// The golden manifest and the module call graph are shared context:
-	// wiredrift gates against the former, goroleak resolves spawned
-	// callees through the latter. A missing manifest is an error when
-	// wiredrift was selected — running the gate without its golden file
-	// would silently pass.
+	// The golden manifests, the module call graph, the route table and
+	// the lock-order analysis are shared context: the per-package passes
+	// gate against module-wide state computed once here. A missing
+	// manifest is an error when its check was selected — running the
+	// gate without its golden file would silently pass.
 	opts := &analysis.Options{Graph: analysis.BuildCallGraph(pkgs)}
 	if checksInclude(checks, "wiredrift") {
 		manifest, err := analysis.LoadWireManifest(manifestPath)
@@ -86,6 +100,24 @@ func main() {
 			fail(fmt.Errorf("%w (generate it with ermvet -update-wire)", err))
 		}
 		opts.Wire = manifest
+	}
+	if checksInclude(checks, "metricdrift") {
+		manifest, err := analysis.LoadMetricsManifest(metricsPath)
+		if err != nil {
+			fail(fmt.Errorf("%w (generate it with ermvet -update-metrics)", err))
+		}
+		opts.Metrics = manifest
+	}
+	if checksInclude(checks, "httpcontract") {
+		opts.Routes = analysis.CollectRoutes(pkgs)
+	}
+	if checksInclude(checks, "lockorder") {
+		opts.Locks = analysis.BuildLockOrder(pkgs, opts.Graph)
+	}
+	var timings map[string]time.Duration
+	if *timing {
+		timings = make(map[string]time.Duration)
+		opts.Timing = func(check string, d time.Duration) { timings[check] += d }
 	}
 
 	patterns := flag.Args()
@@ -129,9 +161,17 @@ func main() {
 		}
 	}
 	if *sarifOut {
-		if err := analysis.WriteSARIF(os.Stdout, sarifDiags); err != nil {
+		if err := analysis.WriteSARIFWith(os.Stdout, sarifDiags, timings); err != nil {
 			fail(err)
 		}
+	}
+	if *timing {
+		if *jsonOut {
+			if err := analysis.WriteTimingsJSON(os.Stdout, timings); err != nil {
+				fail(err)
+			}
+		}
+		printTimings(timings)
 	}
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "ermvet: %d finding(s)\n", findings)
@@ -142,6 +182,26 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "ermvet:", err)
 	os.Exit(2)
+}
+
+// printTimings renders the -timing table on stderr, slowest check
+// first, so the output never mixes into the machine-readable stdout
+// streams.
+func printTimings(timings map[string]time.Duration) {
+	names := make([]string, 0, len(timings))
+	for name := range timings {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if timings[names[i]] != timings[names[j]] {
+			return timings[names[i]] > timings[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintf(os.Stderr, "ermvet: per-check wall time\n")
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "  %-12s %8.1fms\n", name, float64(timings[name].Microseconds())/1000)
+	}
 }
 
 // regenerateWireManifest rewrites the golden manifest from the live

@@ -16,6 +16,14 @@
 //   - ctxcancel: exported blocking entry points of the serving and
 //     repair layers accept and honor a cancellation hook.
 //
+// Later layers grow the reach: flow-sensitive per-function dataflow
+// (lockflow, goroleak, errdrop), interprocedural budgets and lifetimes
+// (allocbudget, bodyclose), and finally whole-module contract gates —
+// lockorder (cross-package lock-acquisition order and blocking-under-
+// mutex), httpcontract (client routes must resolve against registered
+// handlers), and metricdrift (the exported metric-name surface is
+// pinned by a golden manifest). See each check's doc.
+//
 // A finding the code is genuinely entitled to is silenced in place with
 //
 //	//ermvet:ignore <check> <reason>
@@ -32,6 +40,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, resolved to a file position. Suppressed
@@ -67,8 +76,12 @@ type Check struct {
 // on the CFG and call graph (cfg.go, callgraph.go); allocbudget,
 // atomicmix and bodyclose are the v3 layer, which adds interprocedural
 // allocation budgets, atomics-consistency and resource-lifetime
-// dataflow on the same substrate.
-var AllChecks = []*Check{AllocBudget, AtomicMix, BodyClose, CtxCancel, DetRand, ErrDrop, FloatEq, GoroLeak, GuardedBy, LockFlow, MapOrder, WireDrift}
+// dataflow on the same substrate; httpcontract, lockorder and
+// metricdrift are the v4 layer, which lifts the analysis from single
+// functions and packages to whole-module contracts: the HTTP protocol
+// between the serving roles, the module-wide lock-acquisition order,
+// and the exported metric-name surface.
+var AllChecks = []*Check{AllocBudget, AtomicMix, BodyClose, CtxCancel, DetRand, ErrDrop, FloatEq, GoroLeak, GuardedBy, HTTPContract, LockFlow, LockOrder, MapOrder, MetricDrift, WireDrift}
 
 // Options carries the module-level context some checks need beyond the
 // single package a Pass hands them. A nil *Options behaves like the
@@ -82,6 +95,20 @@ type Options struct {
 	// Graph is the module call graph goroleak resolves `go f()`
 	// spawns through. When nil, a per-package graph is built on demand.
 	Graph *CallGraph
+	// Metrics is the golden metric-name manifest the metricdrift check
+	// gates against. When nil, metricdrift is a no-op: there is nothing
+	// to gate.
+	Metrics *MetricsManifest
+	// Routes is the module-wide registered-route table httpcontract
+	// resolves client call sites against. When nil, a per-package table
+	// is built on demand (fixtures register and call in one package).
+	Routes *RouteTable
+	// Locks is the module-wide lock-order analysis lockorder reports
+	// from. When nil, it is computed over the single pass package.
+	Locks *LockOrderInfo
+	// Timing, when set, receives each check's wall-clock duration after
+	// it runs over a package.
+	Timing func(check string, d time.Duration)
 }
 
 func (o *Options) orZero() *Options {
@@ -115,6 +142,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Check:   p.Check,
 		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a finding at an already-resolved position. The
+// module-wide checks compute findings across packages and hand each one
+// to the pass that owns the file, where token.Pos values from other
+// passes' resolution would be meaningless.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:   p.Check,
+		Pos:     pos,
 		Message: fmt.Sprintf(format, args...),
 	})
 }
@@ -153,7 +192,11 @@ func RunAll(pkg *Package, checks []*Check, opts *Options) []Diagnostic {
 			Opts:    opts.orZero(),
 			report:  func(d Diagnostic) { diags = append(diags, d) },
 		}
+		start := time.Now()
 		c.Run(pass)
+		if t := pass.Opts.Timing; t != nil {
+			t(c.Name, time.Since(start))
+		}
 	}
 
 	ign, bad := ignoreDirectives(pkg)

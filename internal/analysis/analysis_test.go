@@ -30,24 +30,34 @@ func TestChecks(t *testing.T) {
 	cases := []struct {
 		dir   string
 		check *analysis.Check
+		opts  *analysis.Options
 	}{
-		{"detrand/measure", analysis.DetRand},
-		{"detrand/other", analysis.DetRand},
-		{"maporder/a", analysis.MapOrder},
-		{"guardedby/a", analysis.GuardedBy},
-		{"floateq/nn", analysis.FloatEq},
-		{"floateq/other", analysis.FloatEq},
-		{"ctxcancel/serve", analysis.CtxCancel},
-		{"ctxcancel/cluster", analysis.CtxCancel},
-		{"allocbudget/a", analysis.AllocBudget},
-		{"bodyclose/cluster", analysis.BodyClose},
-		{"bodyclose/other", analysis.BodyClose},
-		{"atomicmix/a", analysis.AtomicMix},
-		{"lockflow/a", analysis.LockFlow},
-		{"goroleak/serve", analysis.GoroLeak},
-		{"goroleak/other", analysis.GoroLeak},
-		{"errdrop/a", analysis.ErrDrop},
-		{"wiredrift/a", analysis.WireDrift},
+		{dir: "detrand/measure", check: analysis.DetRand},
+		{dir: "detrand/other", check: analysis.DetRand},
+		{dir: "maporder/a", check: analysis.MapOrder},
+		{dir: "guardedby/a", check: analysis.GuardedBy},
+		{dir: "floateq/nn", check: analysis.FloatEq},
+		{dir: "floateq/other", check: analysis.FloatEq},
+		{dir: "ctxcancel/serve", check: analysis.CtxCancel},
+		{dir: "ctxcancel/cluster", check: analysis.CtxCancel},
+		{dir: "allocbudget/a", check: analysis.AllocBudget},
+		{dir: "bodyclose/cluster", check: analysis.BodyClose},
+		{dir: "bodyclose/other", check: analysis.BodyClose},
+		{dir: "atomicmix/a", check: analysis.AtomicMix},
+		{dir: "lockflow/a", check: analysis.LockFlow},
+		{dir: "goroleak/serve", check: analysis.GoroLeak},
+		{dir: "goroleak/other", check: analysis.GoroLeak},
+		{dir: "errdrop/a", check: analysis.ErrDrop},
+		{dir: "wiredrift/a", check: analysis.WireDrift},
+		{dir: "lockorder/a", check: analysis.LockOrder},
+		{dir: "httpcontract/cluster", check: analysis.HTTPContract},
+		{dir: "httpcontract/other", check: analysis.HTTPContract},
+		{dir: "metricdrift/serve", check: analysis.MetricDrift, opts: &analysis.Options{
+			Metrics: &analysis.MetricsManifest{Metrics: map[string]string{
+				"erminerd_known_total":   "serve",
+				"erminerd_dropped_total": "serve",
+			}},
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(strings.ReplaceAll(tc.dir, "/", "_"), func(t *testing.T) {
@@ -57,7 +67,7 @@ func TestChecks(t *testing.T) {
 				t.Fatalf("LoadDir(%s): %v", dir, err)
 			}
 			wants := parseWants(t, pkg)
-			for _, d := range analysis.Run(pkg, []*analysis.Check{tc.check}) {
+			for _, d := range analysis.RunOpts(pkg, []*analysis.Check{tc.check}, tc.opts) {
 				if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
 					t.Errorf("unexpected diagnostic: %s", d)
 				}
@@ -155,10 +165,45 @@ func TestModuleClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LoadWireManifest: %v", err)
 	}
-	opts := &analysis.Options{Wire: manifest, Graph: analysis.BuildCallGraph(pkgs)}
+	metrics, err := analysis.LoadMetricsManifest(filepath.Join(root, filepath.FromSlash(analysis.MetricsManifestPath)))
+	if err != nil {
+		t.Fatalf("LoadMetricsManifest: %v", err)
+	}
+	graph := analysis.BuildCallGraph(pkgs)
+	opts := &analysis.Options{
+		Wire:    manifest,
+		Graph:   graph,
+		Metrics: metrics,
+		Routes:  analysis.CollectRoutes(pkgs),
+		Locks:   analysis.BuildLockOrder(pkgs, graph),
+	}
 	for _, pkg := range pkgs {
 		for _, d := range analysis.RunOpts(pkg, analysis.AllChecks, opts) {
 			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestCheckInventory pins the pass list: fifteen checks, in
+// reporting-name order. Dropping a check from AllChecks would silently
+// shrink every gate built on it — the CLI, check.sh, TestModuleClean —
+// so the count and the names are fixed here.
+func TestCheckInventory(t *testing.T) {
+	want := []string{
+		"allocbudget", "atomicmix", "bodyclose", "ctxcancel", "detrand",
+		"errdrop", "floateq", "goroleak", "guardedby", "httpcontract",
+		"lockflow", "lockorder", "maporder", "metricdrift", "wiredrift",
+	}
+	var got []string
+	for _, c := range analysis.AllChecks {
+		got = append(got, c.Name)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("AllChecks has %d checks, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("AllChecks[%d] = %q, want %q", i, got[i], want[i])
 		}
 	}
 }

@@ -39,9 +39,9 @@ func TestGuardedByInventory(t *testing.T) {
 			"jobManager.queued=mu",
 			"jobManager.running=mu",
 		},
-		"../serve/metrics.go": {
-			"metrics.lat=latMu",
-			"metrics.latN=latMu",
+		"../metrics/latency.go": {
+			"LatencyRing.buf=mu",
+			"LatencyRing.n=mu",
 		},
 		"../measure/cache.go": {
 			"IndexCache.entries=mu",

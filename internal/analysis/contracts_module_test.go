@@ -1,0 +1,167 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"erminer/internal/analysis"
+)
+
+// loadModuleContracts loads the whole module and returns the package
+// list plus a by-import-path lookup, for the v4 whole-module contract
+// gates (metricdrift, httpcontract, lockorder).
+func loadModuleContracts(t *testing.T) ([]*analysis.Package, func(string) *analysis.Package) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	root := filepath.Join("..", "..")
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return pkgs, func(path string) *analysis.Package {
+		for _, pkg := range pkgs {
+			if pkg.Path == path {
+				return pkg
+			}
+		}
+		t.Fatalf("module has no %s package", path)
+		return nil
+	}
+}
+
+// TestMetricManifestPinned requires the committed metric-name manifest
+// to match the live names exactly, in both directions — the same
+// comparison `ermvet -checks metricdrift` gates on, run from `go test`
+// so a metric rename cannot land without a reviewed manifest diff.
+func TestMetricManifestPinned(t *testing.T) {
+	pkgs, _ := loadModuleContracts(t)
+	manifest, err := analysis.LoadMetricsManifest(filepath.Join("..", "..", filepath.FromSlash(analysis.MetricsManifestPath)))
+	if err != nil {
+		t.Fatalf("LoadMetricsManifest: %v", err)
+	}
+	live := analysis.CollectMetricNames(pkgs)
+	if !reflect.DeepEqual(live, manifest.Metrics) {
+		t.Errorf("live metric names diverge from %s; review the change and run ermvet -update-metrics\nlive:     %v\nmanifest: %v",
+			analysis.MetricsManifestPath, live, manifest.Metrics)
+	}
+}
+
+// TestMetricDriftGates demonstrates the gate end-to-end on the real
+// serve package: deleting a manifest entry makes its live literal an
+// unrecorded name, and a phantom manifest entry is reported as a
+// dropped metric. Either way the build fails — a name cannot change in
+// only one place.
+func TestMetricDriftGates(t *testing.T) {
+	_, byPath := loadModuleContracts(t)
+	servePkg := byPath("erminer/internal/serve")
+	manifest, err := analysis.LoadMetricsManifest(filepath.Join("..", "..", filepath.FromSlash(analysis.MetricsManifestPath)))
+	if err != nil {
+		t.Fatalf("LoadMetricsManifest: %v", err)
+	}
+
+	const victim = "erminerd_requests_total"
+	removed := &analysis.MetricsManifest{Metrics: make(map[string]string, len(manifest.Metrics))}
+	for k, v := range manifest.Metrics {
+		if k != victim {
+			removed.Metrics[k] = v
+		}
+	}
+	diags := analysis.RunOpts(servePkg, []*analysis.Check{analysis.MetricDrift}, &analysis.Options{Metrics: removed})
+	if !hasDiag(diags, victim, "is not in the golden manifest") {
+		t.Errorf("deleting %s from the manifest did not fail the gate; got %v", victim, diags)
+	}
+
+	added := &analysis.MetricsManifest{Metrics: make(map[string]string, len(manifest.Metrics)+1)}
+	for k, v := range manifest.Metrics {
+		added.Metrics[k] = v
+	}
+	added.Metrics["erminerd_phantom_total"] = "serve"
+	diags = analysis.RunOpts(servePkg, []*analysis.Check{analysis.MetricDrift}, &analysis.Options{Metrics: added})
+	if !hasDiag(diags, "erminerd_phantom_total", "is no longer emitted by package serve") {
+		t.Errorf("a manifest name with no live literal did not fail the gate; got %v", diags)
+	}
+}
+
+// TestRouteContractGates removes one registered route from the real
+// module's table and requires httpcontract to fail the cluster package,
+// whose rule-push path calls it: changing a client route string (or
+// dropping its handler) cannot land silently.
+func TestRouteContractGates(t *testing.T) {
+	pkgs, byPath := loadModuleContracts(t)
+	clusterPkg := byPath("erminer/internal/cluster")
+	full := analysis.CollectRoutes(pkgs)
+	// The wire manifest resolves the serve-side payload structs the
+	// cluster handlers hand to encoding/json.
+	wire, err := analysis.LoadWireManifest(filepath.Join("..", "..", filepath.FromSlash(analysis.WireManifestPath)))
+	if err != nil {
+		t.Fatalf("LoadWireManifest: %v", err)
+	}
+
+	const victim = "/v1/rules/stage"
+	mutated := &analysis.RouteTable{}
+	for _, r := range full.Routes {
+		if r.Path != victim {
+			mutated.Routes = append(mutated.Routes, r)
+		}
+	}
+	if len(mutated.Routes) == len(full.Routes) {
+		t.Fatalf("precondition: %s is not in the registered route table", victim)
+	}
+	diags := analysis.RunOpts(clusterPkg, []*analysis.Check{analysis.HTTPContract}, &analysis.Options{Routes: mutated, Wire: wire})
+	if !hasDiag(diags, victim, "no handler registers that path") {
+		t.Errorf("unregistering %s did not fail the cluster client; got %v", victim, diags)
+	}
+
+	// With the full table the cluster package is clean, so the finding
+	// above is attributable to the removal alone.
+	if diags := analysis.RunOpts(clusterPkg, []*analysis.Check{analysis.HTTPContract}, &analysis.Options{Routes: full, Wire: wire}); len(diags) != 0 {
+		t.Errorf("cluster is not httpcontract-clean against the full route table: %v", diags)
+	}
+}
+
+// TestLockOrderPushFindings pins the genuine blocking-under-mutex
+// findings on the coordinator's push path: pushAll parks on a WaitGroup
+// while pushMu serializes fleet pushes, at exactly three call sites,
+// each suppressed with a written-down rationale. If the suppression or
+// the detection disappears, this fails — the findings are real and must
+// stay visible as documented decisions, not vanish.
+func TestLockOrderPushFindings(t *testing.T) {
+	pkgs, byPath := loadModuleContracts(t)
+	clusterPkg := byPath("erminer/internal/cluster")
+	locks := analysis.BuildLockOrder(pkgs, analysis.BuildCallGraph(pkgs))
+
+	var got []analysis.Diagnostic
+	for _, d := range analysis.RunAll(clusterPkg, []*analysis.Check{analysis.LockOrder}, &analysis.Options{Locks: locks}) {
+		if d.Check == "lockorder" {
+			got = append(got, d)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("cluster has %d lockorder findings, want the 3 pushAll sites: %v", len(got), got)
+	}
+	for _, d := range got {
+		if filepath.Base(d.Pos.Filename) != "handlers.go" {
+			t.Errorf("finding outside handlers.go: %s", d)
+		}
+		if !strings.Contains(d.Message, "pushAll") || !strings.Contains(d.Message, "Coordinator.pushMu") {
+			t.Errorf("finding does not describe the pushAll-under-pushMu wait: %s", d)
+		}
+		if !d.Suppressed || d.Reason == "" {
+			t.Errorf("push-path finding must be suppressed with a rationale, got suppressed=%v reason=%q: %s",
+				d.Suppressed, d.Reason, d)
+		}
+	}
+}
+
+func hasDiag(diags []analysis.Diagnostic, substr, msg string) bool {
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) && strings.Contains(d.Message, msg) {
+			return true
+		}
+	}
+	return false
+}

@@ -2,8 +2,11 @@ package analysis_test
 
 import (
 	"go/token"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"erminer/internal/analysis"
 )
@@ -43,5 +46,46 @@ func TestJSONFormat(t *testing.T) {
 `
 	if sb.String() != want {
 		t.Errorf("JSON output drifted:\ngot:  %q\nwant: %q", sb.String(), want)
+	}
+}
+
+// TestTimingJSONFormat pins the `-timing` NDJSON record: discriminated
+// by record:"timing" so CI's jq can split the shared stream, sorted by
+// check name.
+func TestTimingJSONFormat(t *testing.T) {
+	var sb strings.Builder
+	err := analysis.WriteTimingsJSON(&sb, map[string]time.Duration{
+		"lockorder":    1500 * time.Microsecond,
+		"httpcontract": 250 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("WriteTimingsJSON: %v", err)
+	}
+	want := `{"record":"timing","check":"httpcontract","ms":0.25}
+{"record":"timing","check":"lockorder","ms":1.5}
+`
+	if sb.String() != want {
+		t.Errorf("timing output drifted:\ngot:  %q\nwant: %q", sb.String(), want)
+	}
+}
+
+// TestRunAllTiming pins the Options.Timing hook: one callback per check
+// per package, under the check's reporting name.
+func TestRunAllTiming(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "maporder", "a")
+	pkg, err := analysis.LoadDir(dir, "fixture/maporder/a")
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	var calls []string
+	opts := &analysis.Options{Timing: func(check string, d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative duration for %s", check)
+		}
+		calls = append(calls, check)
+	}}
+	analysis.RunOpts(pkg, []*analysis.Check{analysis.MapOrder, analysis.DetRand}, opts)
+	if want := []string{"maporder", "detrand"}; !reflect.DeepEqual(calls, want) {
+		t.Errorf("timing callbacks = %v, want %v", calls, want)
 	}
 }

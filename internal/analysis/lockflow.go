@@ -189,7 +189,7 @@ func analyzeLockFlow(pass *Pass, fnName string, body *ast.BlockStmt, guarded map
 	// suppresses findings, never invents them.
 	deferred := make(map[string]bool)
 	for _, call := range cfg.Defers {
-		if chain, _, ok := lockCall(pass, call); ok {
+		if chain, _, ok := lockCall(pass.Package, call); ok {
 			deferred[chain] = true
 		}
 	}
@@ -199,7 +199,7 @@ func analyzeLockFlow(pass *Pass, fnName string, body *ast.BlockStmt, guarded map
 		if lit, ok := call.Fun.(*ast.FuncLit); ok {
 			ast.Inspect(lit.Body, func(n ast.Node) bool {
 				if c, ok := n.(*ast.CallExpr); ok {
-					if chain, kind, ok := lockCall(pass, c); ok && kind == evRelease {
+					if chain, kind, ok := lockCall(pass.Package, c); ok && kind == evRelease {
 						deferred[chain] = true
 					}
 				}
@@ -366,7 +366,7 @@ func nodeLockEvents(pass *Pass, node ast.Node, guarded map[*types.Var]string) []
 		case *ast.FuncLit:
 			return false
 		case *ast.CallExpr:
-			if chain, kind, ok := lockCall(pass, n); ok {
+			if chain, kind, ok := lockCall(pass.Package, n); ok {
 				mode := lockWrite
 				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "RLock" {
 					mode = lockRead
@@ -404,7 +404,7 @@ func nodeLockEvents(pass *Pass, node ast.Node, guarded map[*types.Var]string) []
 // lockCall recognises <chain>.Lock/RLock/Unlock/RUnlock calls on a
 // sync.Mutex or sync.RWMutex, returning the chain and whether the call
 // acquires or releases.
-func lockCall(pass *Pass, call *ast.CallExpr) (chain string, kind int, ok bool) {
+func lockCall(pkg *Package, call *ast.CallExpr) (chain string, kind int, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
 		return "", 0, false
@@ -417,7 +417,7 @@ func lockCall(pass *Pass, call *ast.CallExpr) (chain string, kind int, ok bool) 
 	default:
 		return "", 0, false
 	}
-	tv, okT := pass.Info.Types[sel.X]
+	tv, okT := pkg.Info.Types[sel.X]
 	if !okT || !isMutex(tv.Type) {
 		return "", 0, false
 	}
@@ -449,7 +449,7 @@ func checkMutexCopies(pass *Pass, f *ast.File) {
 				flag(rhs, "assignment")
 			}
 		case *ast.CallExpr:
-			if _, _, isLock := lockCall(pass, n); isLock {
+			if _, _, isLock := lockCall(pass.Package, n); isLock {
 				return true
 			}
 			for _, arg := range n.Args {

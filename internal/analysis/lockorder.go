@@ -1,0 +1,836 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the interprocedural, whole-module extension of lockflow:
+// it propagates the lockset dataflow through the call graph and checks
+// what happens *between* functions, which a per-function pass cannot
+// see.
+//
+//   - A lock-acquisition-order graph: an edge A → B whenever some path
+//     acquires B (directly or via a static call) while A is held. Any
+//     cycle in the graph is a potential ABBA deadlock and is reported
+//     once with every witness acquisition path.
+//   - Blocking operations under a mutex: channel sends and receives
+//     (including semaphore/pool claims and selects without a default),
+//     ranging over a channel, sync.WaitGroup/Cond Wait, and net/http
+//     client round-trips, performed — or reachable through a static
+//     call — while a lock is held. Holding a mutex across an unbounded
+//     wait starves every other user of that lock.
+//   - Interprocedural self-deadlock: calling a function that reacquires
+//     a lock the caller already holds.
+//
+// Lock identity is the mutex's declared field/variable object
+// (*types.Var), shared across packages by the module loader's single
+// FileSet — all instances of Server.dictMu are conflated, which is the
+// useful granularity for ordering. Calls through closures, function
+// values and interfaces contribute no edges (the same closure-opaque
+// under-approximation the call graph makes everywhere else), and
+// time.Sleep is deliberately not a blocking op: it is bounded by
+// construction. Paths the analysis cannot see can only make the check
+// quieter, never invent a finding.
+var LockOrder = &Check{
+	Name: "lockorder",
+	Doc:  "interprocedural lock-acquisition-order graph: no cycles (ABBA), no blocking ops or reacquisition while holding a mutex",
+	Run:  runLockOrder,
+}
+
+// LockOrderInfo carries the module-wide lock-order analysis, computed
+// once by BuildLockOrder and shared by every per-package pass through
+// Options.Locks.
+type LockOrderInfo struct {
+	findings []lockOrderFinding
+}
+
+type lockOrderFinding struct {
+	pos token.Position
+	msg string
+}
+
+const (
+	loAcquire = iota
+	loRelease
+	loBlock
+	loCall
+)
+
+// loEvent is one lock-order-relevant operation inside a CFG node.
+type loEvent struct {
+	kind   int
+	v      *types.Var // loAcquire/loRelease: the mutex object
+	name   string     // display name ("Server.dictMu")
+	mode   lockMode
+	desc   string      // loBlock: what blocks
+	callee *types.Func // loCall
+	pos    token.Pos
+}
+
+// acqWitness is where a lock is (transitively) acquired.
+type acqWitness struct {
+	mode lockMode
+	fn   *types.Func // function whose body contains the acquire
+	pos  token.Pos
+}
+
+// blockWitness is the first (transitively) reachable blocking op.
+type blockWitness struct {
+	desc string
+	fn   *types.Func // function whose body blocks (nil pos for stdlib)
+	pos  token.Pos
+}
+
+// reachInfo is one function's transitive summary over direct call
+// edges.
+type reachInfo struct {
+	acquires map[*types.Var]*acqWitness
+	block    *blockWitness
+}
+
+// lockEdge is one acquisition-order edge with its witness.
+type lockEdge struct {
+	from, to         *types.Var
+	fromName, toName string
+	witness          string         // rendered witness acquisition path
+	pos              token.Position // where the finding anchors (the to-acquire or call site)
+}
+
+type lockOrderBuilder struct {
+	pkgs  []*Package
+	graph *CallGraph
+	// declPkg maps each declared function to its package (the Info the
+	// CFG walk needs).
+	declPkg map[*types.Func]*Package
+	// direct holds per-function direct summaries: acquires and the
+	// first blocking op in the body, outside function literals.
+	directAcq   map[*types.Func]map[*types.Var]*acqWitness
+	directBlock map[*types.Func]*blockWitness
+	names       map[*types.Var]string
+
+	memo    map[*types.Func]*reachInfo
+	onStack map[*types.Func]bool
+
+	edges    map[[2]*types.Var]*lockEdge
+	findings []lockOrderFinding
+	seen     map[string]bool
+}
+
+// BuildLockOrder runs the whole-module analysis over the given
+// packages. graph may be nil (built on demand).
+func BuildLockOrder(pkgs []*Package, graph *CallGraph) *LockOrderInfo {
+	if graph == nil {
+		graph = BuildCallGraph(pkgs)
+	}
+	b := &lockOrderBuilder{
+		pkgs:        pkgs,
+		graph:       graph,
+		declPkg:     make(map[*types.Func]*Package),
+		directAcq:   make(map[*types.Func]map[*types.Var]*acqWitness),
+		directBlock: make(map[*types.Func]*blockWitness),
+		names:       make(map[*types.Var]string),
+		memo:        make(map[*types.Func]*reachInfo),
+		onStack:     make(map[*types.Func]bool),
+		edges:       make(map[[2]*types.Var]*lockEdge),
+		seen:        make(map[string]bool),
+	}
+	b.collectSummaries()
+	b.analyzeAll()
+	b.reportCycles()
+	info := &LockOrderInfo{findings: b.findings}
+	sort.Slice(info.findings, func(i, j int) bool {
+		a, c := info.findings[i], info.findings[j]
+		if a.pos.Filename != c.pos.Filename {
+			return a.pos.Filename < c.pos.Filename
+		}
+		if a.pos.Line != c.pos.Line {
+			return a.pos.Line < c.pos.Line
+		}
+		return a.msg < c.msg
+	})
+	return info
+}
+
+func runLockOrder(pass *Pass) {
+	info := pass.Opts.Locks
+	if info == nil {
+		info = BuildLockOrder([]*Package{pass.Package}, pass.Opts.Graph)
+	}
+	mine := make(map[string]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		mine[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, fd := range info.findings {
+		if mine[fd.pos.Filename] {
+			pass.ReportAt(fd.pos, "%s", fd.msg)
+		}
+	}
+}
+
+// lockVar resolves the mutex object behind a Lock/Unlock receiver chain
+// ("s.dictMu" → the dictMu field var) plus a display name. Chains the
+// type info cannot resolve return nil — the analysis under-reports
+// rather than conflating unrelated locks.
+func lockVar(pkg *Package, expr ast.Expr) (*types.Var, string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		sel := pkg.Info.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return nil, ""
+		}
+		v, ok := sel.Obj().(*types.Var)
+		if !ok {
+			return nil, ""
+		}
+		return v, ownerTypeName(pkg, e.X) + "." + v.Name()
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v, v.Name()
+		}
+	}
+	return nil, ""
+}
+
+// ownerTypeName names the struct a mutex field belongs to, for display.
+func ownerTypeName(pkg *Package, base ast.Expr) string {
+	tv, ok := pkg.Info.Types[base]
+	if !ok || tv.Type == nil {
+		return types.ExprString(base)
+	}
+	t := tv.Type
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return types.ExprString(base)
+}
+
+// funcDisplay renders a function compactly: "(*Server).handleRepair".
+func funcDisplay(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		star := ""
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t, star = p.Elem(), "*"
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return "(" + star + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// receiverTypeName returns the bare receiver type name, or "".
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// stdlibBlocking classifies standard-library calls that block
+// unboundedly.
+func stdlibBlocking(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	recv := receiverTypeName(fn)
+	switch fn.Pkg().Path() {
+	case "sync":
+		if fn.Name() == "Wait" && (recv == "WaitGroup" || recv == "Cond") {
+			return "sync." + recv + ".Wait", true
+		}
+	case "net/http":
+		switch fn.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			if recv == "Client" || recv == "" {
+				return "net/http round-trip", true
+			}
+		}
+	}
+	return "", false
+}
+
+// shortPos renders a position as "file.go:line" for witness strings.
+func shortPos(p token.Position) string {
+	return filepath.Base(p.Filename) + ":" + fmt.Sprint(p.Line)
+}
+
+// bodyScan precomputes per-body node sets the event extractor needs:
+// the comm statements of selects that have a default case (those never
+// block), and the range expressions that iterate channels (those do).
+func bodyScan(pkg *Package, body *ast.BlockStmt) (nonBlockingComm map[ast.Node]bool, chanRange map[ast.Node]bool) {
+	nonBlockingComm = make(map[ast.Node]bool)
+	chanRange = make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if hasDefault {
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						nonBlockingComm[cc.Comm] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					chanRange[n.X] = true
+				}
+			}
+		}
+		return true
+	})
+	return nonBlockingComm, chanRange
+}
+
+// nodeLockOrderEvents extracts one CFG node's events in source order,
+// without descending into function literals (separate flow units) or
+// go/defer statements (a spawned call does not block the holder; a
+// deferred release runs at exit, which for ordering purposes means the
+// lock is held to the end — exactly what ignoring it models).
+func (b *lockOrderBuilder) nodeEvents(pkg *Package, node ast.Node, nonBlockingComm, chanRange map[ast.Node]bool) []loEvent {
+	switch node.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return nil
+	}
+	var evs []loEvent
+	ast.Inspect(node, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if nonBlockingComm[n] {
+			return false // a comm op raced against a default case
+		}
+		if chanRange[n] {
+			evs = append(evs, loEvent{kind: loBlock, desc: "range over a channel", pos: n.Pos()})
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			evs = append(evs, loEvent{kind: loBlock, desc: "channel send", pos: n.Arrow})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				evs = append(evs, loEvent{kind: loBlock, desc: "channel receive", pos: n.OpPos})
+			}
+		case *ast.CallExpr:
+			if _, kind, ok := lockCall(pkg, n); ok {
+				sel := n.Fun.(*ast.SelectorExpr)
+				v, name := lockVar(pkg, sel.X)
+				if v == nil {
+					return false
+				}
+				mode := lockWrite
+				if sel.Sel.Name == "RLock" {
+					mode = lockRead
+				}
+				loKind := loAcquire
+				if kind == evRelease {
+					loKind = loRelease
+				}
+				evs = append(evs, loEvent{kind: loKind, v: v, name: name, mode: mode, pos: n.Pos()})
+				return false
+			}
+			if callee := StaticCallee(pkg.Info, n); callee != nil {
+				if desc, ok := stdlibBlocking(callee); ok {
+					evs = append(evs, loEvent{kind: loBlock, desc: desc, pos: n.Pos()})
+				} else if b.graph.DeclOf(callee) != nil {
+					evs = append(evs, loEvent{kind: loCall, callee: callee, pos: n.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// collectSummaries builds the per-function direct summaries phase one
+// of the analysis memoizes over.
+func (b *lockOrderBuilder) collectSummaries() {
+	for _, pkg := range b.pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				b.declPkg[fn] = pkg
+				nonBlockingComm, chanRange := bodyScan(pkg, fd.Body)
+				acq := make(map[*types.Var]*acqWitness)
+				var blk *blockWitness
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if n == nil {
+						return false
+					}
+					if _, isLit := n.(*ast.FuncLit); isLit {
+						return false
+					}
+					switch n.(type) {
+					case *ast.DeferStmt, *ast.GoStmt:
+						return false
+					}
+					if nonBlockingComm[n] {
+						return false
+					}
+					if chanRange[n] && blk == nil {
+						blk = &blockWitness{desc: "range over a channel", fn: fn, pos: n.Pos()}
+					}
+					switch n := n.(type) {
+					case *ast.SendStmt:
+						if blk == nil {
+							blk = &blockWitness{desc: "channel send", fn: fn, pos: n.Arrow}
+						}
+					case *ast.UnaryExpr:
+						if n.Op == token.ARROW && blk == nil {
+							blk = &blockWitness{desc: "channel receive", fn: fn, pos: n.OpPos}
+						}
+					case *ast.CallExpr:
+						if _, kind, ok := lockCall(pkg, n); ok {
+							if kind == evAcquire {
+								sel := n.Fun.(*ast.SelectorExpr)
+								if v, name := lockVar(pkg, sel.X); v != nil {
+									b.names[v] = name
+									mode := lockWrite
+									if sel.Sel.Name == "RLock" {
+										mode = lockRead
+									}
+									if _, have := acq[v]; !have {
+										acq[v] = &acqWitness{mode: mode, fn: fn, pos: n.Pos()}
+									}
+								}
+							}
+							return false
+						}
+						if callee := StaticCallee(pkg.Info, n); callee != nil && blk == nil {
+							if desc, ok := stdlibBlocking(callee); ok {
+								blk = &blockWitness{desc: desc, fn: fn, pos: n.Pos()}
+							}
+						}
+					}
+					return true
+				})
+				b.directAcq[fn] = acq
+				b.directBlock[fn] = blk
+			}
+		}
+	}
+}
+
+// reach memoizes the transitive summary over direct (closure-opaque)
+// call edges, with an on-stack guard for recursion.
+func (b *lockOrderBuilder) reach(fn *types.Func) *reachInfo {
+	if r, ok := b.memo[fn]; ok {
+		return r
+	}
+	if b.onStack[fn] {
+		return &reachInfo{acquires: map[*types.Var]*acqWitness{}}
+	}
+	b.onStack[fn] = true
+	defer delete(b.onStack, fn)
+	r := &reachInfo{acquires: make(map[*types.Var]*acqWitness)}
+	for v, w := range b.directAcq[fn] {
+		r.acquires[v] = w
+	}
+	r.block = b.directBlock[fn]
+	for _, callee := range b.graph.DirectCallees(fn) {
+		if _, declared := b.directAcq[callee]; !declared {
+			continue // stdlib callees contribute through stdlibBlocking at the call site
+		}
+		cr := b.reach(callee)
+		for v, w := range cr.acquires {
+			if _, have := r.acquires[v]; !have {
+				r.acquires[v] = w
+			}
+		}
+		if r.block == nil {
+			r.block = cr.block
+		}
+	}
+	b.memo[fn] = r
+	return r
+}
+
+func (b *lockOrderBuilder) reportOnce(pos token.Position, msg string) {
+	k := pos.Filename + ":" + fmt.Sprint(pos.Line) + ":" + msg
+	if b.seen[k] {
+		return
+	}
+	b.seen[k] = true
+	b.findings = append(b.findings, lockOrderFinding{pos: pos, msg: msg})
+}
+
+// heldNames renders a held lockset deterministically.
+func (b *lockOrderBuilder) heldNames(held map[*types.Var]lockMode) string {
+	names := make([]string, 0, len(held))
+	for v := range held {
+		names = append(names, b.names[v])
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func (b *lockOrderBuilder) addEdge(pkg *Package, from, to *types.Var, witness string, pos token.Pos) {
+	key := [2]*types.Var{from, to}
+	if _, have := b.edges[key]; have {
+		return
+	}
+	b.edges[key] = &lockEdge{
+		from: from, to: to,
+		fromName: b.names[from], toName: b.names[to],
+		witness: witness,
+		pos:     pkg.Fset.Position(pos),
+	}
+}
+
+// analyzeAll runs the per-function CFG lockset dataflow, emitting
+// blocking/self-deadlock findings and acquisition-order edges.
+func (b *lockOrderBuilder) analyzeAll() {
+	for _, pkg := range b.pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				b.analyzeFunc(pkg, fn, fd.Body)
+				// Function literals are separate flow units, as in
+				// lockflow: locks acquired inside a literal are the
+				// spawned/deferred frame's business, not the creator's.
+				forEachFuncLit(fd.Body, func(lit *ast.FuncLit) {
+					b.analyzeFunc(pkg, fn, lit.Body)
+				})
+			}
+		}
+	}
+}
+
+type loHeld map[*types.Var]lockMode
+
+func (h loHeld) clone() loHeld {
+	c := make(loHeld, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h loHeld) key() string {
+	ks := make([]string, 0, len(h))
+	for v, m := range h {
+		k := fmt.Sprint(int(v.Pos()))
+		if m == lockRead {
+			k += ":R"
+		}
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, "|")
+}
+
+// orderedHeld iterates a held set deterministically by display name.
+func (b *lockOrderBuilder) orderedHeld(h loHeld) []*types.Var {
+	vs := make([]*types.Var, 0, len(h))
+	for v := range h {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		if b.names[vs[i]] != b.names[vs[j]] {
+			return b.names[vs[i]] < b.names[vs[j]]
+		}
+		return vs[i].Pos() < vs[j].Pos()
+	})
+	return vs
+}
+
+func (b *lockOrderBuilder) analyzeFunc(pkg *Package, fn *types.Func, body *ast.BlockStmt) {
+	cfg := BuildCFG(body)
+	nonBlockingComm, chanRange := bodyScan(pkg, body)
+	events := make([][]loEvent, len(cfg.Blocks))
+	any := false
+	for i, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			evs := b.nodeEvents(pkg, n, nonBlockingComm, chanRange)
+			events[i] = append(events[i], evs...)
+		}
+		if len(events[i]) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	fnName := funcDisplay(fn)
+
+	apply := func(blkIdx int, in loHeld) loHeld {
+		held := in.clone()
+		for _, ev := range events[blkIdx] {
+			switch ev.kind {
+			case loAcquire:
+				for _, a := range b.orderedHeld(held) {
+					if a == ev.v {
+						continue // lockflow reports intra-procedural double-locks
+					}
+					b.addEdge(pkg, a, ev.v,
+						fmt.Sprintf("%s acquired in %s at %s while %s is held",
+							ev.name, fnName, shortPos(pkg.Fset.Position(ev.pos)), b.names[a]),
+						ev.pos)
+				}
+				if _, have := held[ev.v]; !have {
+					held[ev.v] = ev.mode
+				}
+			case loRelease:
+				delete(held, ev.v)
+			case loBlock:
+				if len(held) > 0 {
+					b.reportOnce(pkg.Fset.Position(ev.pos),
+						fmt.Sprintf("blocking %s in %s while holding %s; an unbounded wait under a mutex starves every other user of the lock",
+							ev.desc, fnName, b.heldNames(held)))
+				}
+			case loCall:
+				r := b.reach(ev.callee)
+				if len(held) > 0 && r.block != nil {
+					desc := r.block.desc
+					if r.block.fn != nil && r.block.fn != ev.callee {
+						desc += " in " + funcDisplay(r.block.fn)
+					}
+					b.reportOnce(pkg.Fset.Position(ev.pos),
+						fmt.Sprintf("call to %s in %s may block (%s) while holding %s",
+							funcDisplay(ev.callee), fnName, desc, b.heldNames(held)))
+				}
+				for _, a := range b.orderedHeld(held) {
+					for _, v := range b.reachOrdered(r) {
+						w := r.acquires[v]
+						if v == a {
+							if held[a] == lockRead && w.mode == lockRead {
+								continue
+							}
+							b.reportOnce(pkg.Fset.Position(ev.pos),
+								fmt.Sprintf("call to %s in %s reacquires %s, already held on this path (self-deadlock; acquire in %s at %s)",
+									funcDisplay(ev.callee), fnName, b.names[a], funcDisplay(w.fn), shortPos(pkg.Fset.Position(w.pos))))
+							continue
+						}
+						b.addEdge(pkg, a, v,
+							fmt.Sprintf("%s acquired via call to %s in %s at %s (acquire in %s at %s) while %s is held",
+								b.names[v], funcDisplay(ev.callee), fnName, shortPos(pkg.Fset.Position(ev.pos)),
+								funcDisplay(w.fn), shortPos(pkg.Fset.Position(w.pos)), b.names[a]),
+							ev.pos)
+					}
+				}
+			}
+		}
+		return held
+	}
+
+	heldStates := make([]map[string]loHeld, len(cfg.Blocks))
+	for i := range heldStates {
+		heldStates[i] = make(map[string]loHeld)
+	}
+	add := func(idx int, h loHeld) bool {
+		k := h.key()
+		if _, ok := heldStates[idx][k]; ok {
+			return false
+		}
+		heldStates[idx][k] = h
+		return true
+	}
+	add(cfg.Entry.Index, loHeld{})
+	work := []int{cfg.Entry.Index}
+	processed := make(map[string]bool)
+	for len(work) > 0 {
+		idx := work[0]
+		work = work[1:]
+		blk := cfg.Blocks[idx]
+		keys := make([]string, 0, len(heldStates[idx]))
+		for k := range heldStates[idx] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			pk := fmt.Sprintf("%d:%s", idx, k)
+			if processed[pk] {
+				continue
+			}
+			processed[pk] = true
+			out := apply(idx, heldStates[idx][k])
+			for _, succ := range blk.Succs {
+				if len(heldStates[succ.Index]) >= maxLocksets {
+					return // bail: pathological state growth
+				}
+				if add(succ.Index, out) {
+					work = append(work, succ.Index)
+				}
+			}
+		}
+	}
+}
+
+// reachOrdered iterates a reach summary's acquires deterministically.
+func (b *lockOrderBuilder) reachOrdered(r *reachInfo) []*types.Var {
+	vs := make([]*types.Var, 0, len(r.acquires))
+	for v := range r.acquires {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		if b.names[vs[i]] != b.names[vs[j]] {
+			return b.names[vs[i]] < b.names[vs[j]]
+		}
+		return vs[i].Pos() < vs[j].Pos()
+	})
+	return vs
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports each once, listing every witness edge — both (or
+// all) acquisition paths of the potential ABBA deadlock.
+func (b *lockOrderBuilder) reportCycles() {
+	// Deterministic node order.
+	nodeSet := make(map[*types.Var]bool)
+	for key := range b.edges {
+		nodeSet[key[0]] = true
+		nodeSet[key[1]] = true
+	}
+	nodes := make([]*types.Var, 0, len(nodeSet))
+	for v := range nodeSet {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if b.names[nodes[i]] != b.names[nodes[j]] {
+			return b.names[nodes[i]] < b.names[nodes[j]]
+		}
+		return nodes[i].Pos() < nodes[j].Pos()
+	})
+	keys := make([][2]*types.Var, 0, len(b.edges))
+	for key := range b.edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if b.names[a[0]] != b.names[c[0]] {
+			return b.names[a[0]] < b.names[c[0]]
+		}
+		return b.names[a[1]] < b.names[c[1]]
+	})
+	succs := make(map[*types.Var][]*types.Var)
+	for _, key := range keys {
+		succs[key[0]] = append(succs[key[0]], key[1])
+	}
+
+	// Tarjan's SCC, iterative enough for our graph sizes via recursion
+	// (lock graphs are tiny).
+	index := make(map[*types.Var]int)
+	low := make(map[*types.Var]int)
+	onStk := make(map[*types.Var]bool)
+	var stack []*types.Var
+	var counter int
+	var sccs [][]*types.Var
+	var strong func(v *types.Var)
+	strong = func(v *types.Var) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStk[v] = true
+		for _, w := range succs[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStk[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*types.Var
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStk[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+
+	for _, scc := range sccs {
+		in := make(map[*types.Var]bool, len(scc))
+		for _, v := range scc {
+			in[v] = true
+		}
+		var cycleEdges []*lockEdge
+		for key, e := range b.edges {
+			if in[key[0]] && in[key[1]] {
+				cycleEdges = append(cycleEdges, e)
+			}
+		}
+		sort.Slice(cycleEdges, func(i, j int) bool {
+			a, c := cycleEdges[i], cycleEdges[j]
+			if a.fromName != c.fromName {
+				return a.fromName < c.fromName
+			}
+			return a.toName < c.toName
+		})
+		names := make([]string, 0, len(scc))
+		for _, v := range scc {
+			names = append(names, b.names[v])
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(cycleEdges))
+		for _, e := range cycleEdges {
+			parts = append(parts, fmt.Sprintf("%s → %s (%s)", e.fromName, e.toName, e.witness))
+		}
+		b.reportOnce(cycleEdges[0].pos,
+			fmt.Sprintf("lock-order cycle between %s: %s — potential ABBA deadlock; acquire these locks in one fixed order everywhere",
+				strings.Join(names, " and "), strings.Join(parts, "; ")))
+	}
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// MetricDrift gates the serving stack's metric names — every
+// erminerd_*/ermcluster_* line the daemon and the coordinator emit —
+// against the golden manifest (MetricsManifestPath), the same way
+// wiredrift gates wire shapes. Dashboards and alert rules key on these
+// names by string, so a rename or drop is a breaking interface change
+// that deserves a reviewed manifest diff, not a silent scrape gap.
+// Unlike wire shapes there is no version constant to bump: the name is
+// the whole contract, so the manifest is simply regenerated with
+// `ermvet -update-metrics` and the diff reviewed.
+var MetricDrift = &Check{
+	Name: "metricdrift",
+	Doc:  "erminerd_/ermcluster_ metric names must match the golden manifest; changes need ermvet -update-metrics",
+	Run:  runMetricDrift,
+}
+
+// MetricsManifestPath is the golden metrics manifest's
+// module-root-relative path, under the analyzer's testdata like the
+// wire-shape manifest.
+const MetricsManifestPath = "internal/analysis/testdata/metrics_names.json"
+
+// metricNameRE matches a serving-stack metric name inside a string
+// literal. The two prefixes are the daemon's and the coordinator's;
+// scanning literals (rather than one blessed const block) means the
+// gate also catches a raw Fprintf that bypasses the name constants.
+var metricNameRE = regexp.MustCompile(`\b(?:erminerd|ermcluster)_[a-z0-9_]+`)
+
+// MetricsManifest is the committed golden manifest: metric name → the
+// package (by package name, e.g. "serve") that emits it. The owner is
+// recorded so a dropped name is reported against the package that used
+// to emit it, and so each package only polices its own names.
+type MetricsManifest struct {
+	Metrics map[string]string `json:"metrics"`
+}
+
+// LoadMetricsManifest reads a manifest written by WriteMetricsManifest.
+func LoadMetricsManifest(path string) (*MetricsManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading metrics manifest: %w", err)
+	}
+	var m MetricsManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("analysis: parsing metrics manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// WriteMetricsManifest writes the manifest with sorted keys and a
+// trailing newline, so regeneration produces minimal diffs.
+func (m *MetricsManifest) WriteMetricsManifest(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// collectMetricLiterals scrapes every metric name mentioned in the
+// package's string literals, keeping the first occurrence's position
+// for reporting.
+func collectMetricLiterals(pkg *Package) map[string]token.Pos {
+	found := make(map[string]token.Pos)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			for _, name := range metricNameRE.FindAllString(s, -1) {
+				if _, ok := found[name]; !ok {
+					found[name] = lit.Pos()
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// CollectMetricNames computes the live manifest across the given
+// packages: every metric name found in a string literal, mapped to the
+// emitting package's name.
+func CollectMetricNames(pkgs []*Package) map[string]string {
+	live := make(map[string]string)
+	for _, pkg := range pkgs {
+		for name := range collectMetricLiterals(pkg) {
+			live[name] = pkg.Types.Name()
+		}
+	}
+	return live
+}
+
+func runMetricDrift(pass *Pass) {
+	manifest := pass.Opts.Metrics
+	if manifest == nil {
+		return // no golden manifest in this run: nothing to gate against
+	}
+	found := collectMetricLiterals(pass.Package)
+	names := make([]string, 0, len(found))
+	for name := range found {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := manifest.Metrics[name]; !ok {
+			pass.Reportf(found[name],
+				"metric %s is not in the golden manifest (%s); dashboards cannot see unrecorded names — add it with ermvet -update-metrics",
+				name, MetricsManifestPath)
+		}
+	}
+	// A manifest name owned by this package with no remaining literal was
+	// renamed or dropped: the scrape consumers keyed on it break.
+	var gone []string
+	for name, owner := range manifest.Metrics {
+		if owner == pass.Types.Name() {
+			if _, ok := found[name]; !ok {
+				gone = append(gone, name)
+			}
+		}
+	}
+	sort.Strings(gone)
+	pos := token.NoPos
+	if len(pass.Files) > 0 {
+		pos = pass.Files[0].Pos()
+	}
+	for _, name := range gone {
+		pass.Reportf(pos,
+			"manifest metric %s is no longer emitted by package %s; renaming or dropping a metric breaks its scrape consumers — regenerate with ermvet -update-metrics",
+			name, pass.Types.Name())
+	}
+}
+
+// UpdateMetricsManifest regenerates the manifest from the live names.
+// There is no version discipline to enforce (the name is the whole
+// contract), but the rewrite still goes through review as a manifest
+// diff.
+func UpdateMetricsManifest(pkgs []*Package) *MetricsManifest {
+	return &MetricsManifest{Metrics: CollectMetricNames(pkgs)}
+}

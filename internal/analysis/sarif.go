@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"time"
 )
 
 // sarifSchema pins the SARIF dialect the writer emits. GitHub code
@@ -30,6 +31,15 @@ type sarifLog struct {
 type sarifRun struct {
 	Tool    sarifTool     `json:"tool"`
 	Results []sarifResult `json:"results"`
+	// Properties carries run-level metadata; ermvet uses it for the
+	// optional per-check wall-clock timings (-timing). Omitted entirely
+	// when no timings were collected, so the pinned document format is
+	// unchanged for existing consumers.
+	Properties *sarifRunProperties `json:"properties,omitempty"`
+}
+
+type sarifRunProperties struct {
+	CheckTimingsMs map[string]float64 `json:"checkTimingsMs"`
 }
 
 type sarifTool struct {
@@ -101,6 +111,13 @@ func sarifRules() []sarifRule {
 // wanting repository-relative URIs (as GitHub code scanning requires)
 // rewrite Pos.Filename before calling, exactly as with WriteJSON.
 func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	return WriteSARIFWith(w, diags, nil)
+}
+
+// WriteSARIFWith is WriteSARIF plus optional per-check timings, carried
+// in the run's property bag. A nil timings map produces a byte-for-byte
+// WriteSARIF document.
+func WriteSARIFWith(w io.Writer, diags []Diagnostic, timings map[string]time.Duration) error {
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {
 		r := sarifResult{
@@ -126,6 +143,13 @@ func WriteSARIF(w io.Writer, diags []Diagnostic) error {
 			Tool:    sarifTool{Driver: sarifDriver{Name: "ermvet", Rules: sarifRules()}},
 			Results: results,
 		}},
+	}
+	if len(timings) > 0 {
+		ms := make(map[string]float64, len(timings))
+		for name, d := range timings {
+			ms[name] = float64(d.Microseconds()) / 1000
+		}
+		log.Runs[0].Properties = &sarifRunProperties{CheckTimingsMs: ms}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

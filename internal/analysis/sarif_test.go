@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"strings"
 	"testing"
+	"time"
 
 	"erminer/internal/analysis"
 )
@@ -122,5 +123,37 @@ func TestSARIFFormat(t *testing.T) {
 	}
 	if s := sup.Suppressions[0]; s.Kind != "inSource" || s.Justification != "freelist miss: first use at this capacity" {
 		t.Errorf("suppression = %q/%q, want inSource with the //ermvet:ignore rationale", s.Kind, s.Justification)
+	}
+}
+
+// TestSARIFTimings pins the -timing run property: per-check wall time
+// lands in the run's property bag without touching the pinned result
+// format (WriteSARIF delegates with nil timings and emits no bag).
+func TestSARIFTimings(t *testing.T) {
+	var sb strings.Builder
+	err := analysis.WriteSARIFWith(&sb, nil, map[string]time.Duration{"lockorder": 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("WriteSARIFWith: %v", err)
+	}
+	var log struct {
+		Runs []struct {
+			Properties struct {
+				CheckTimingsMs map[string]float64 `json:"checkTimingsMs"`
+			} `json:"properties"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &log); err != nil {
+		t.Fatalf("parsing SARIF: %v", err)
+	}
+	if got := log.Runs[0].Properties.CheckTimingsMs["lockorder"]; got != 2 {
+		t.Errorf("checkTimingsMs[lockorder] = %v, want 2", got)
+	}
+
+	var plain strings.Builder
+	if err := analysis.WriteSARIF(&plain, nil); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if strings.Contains(plain.String(), "properties") {
+		t.Errorf("WriteSARIF without timings must not emit a property bag")
 	}
 }

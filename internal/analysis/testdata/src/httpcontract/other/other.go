@@ -1,0 +1,10 @@
+// Package other is outside httpcontract's scope: only the serving
+// roles (serve, cluster) take part in the HTTP protocol, so the same
+// call sites that fire there are silent here.
+package other
+
+import "net/http"
+
+func x(base string) {
+	_, _ = http.NewRequest("POST", base+"/v1/absent", nil)
+}

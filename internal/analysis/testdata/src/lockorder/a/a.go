@@ -1,0 +1,141 @@
+// Package a is a lockorder fixture.
+package a
+
+import "sync"
+
+// pair's two mutexes are acquired in opposite orders by ab and ba: the
+// classic ABBA deadlock, visible only in the acquisition-order graph.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want `lock-order cycle between pair.a and pair.b`
+	defer p.b.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// badSend blocks on an unbuffered-channel send while holding mu.
+func (s *q) badSend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `blocking channel send in \(\*q\).badSend while holding q.mu`
+}
+
+// okTrySend races the send against a default case: never blocks.
+func (s *q) okTrySend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// badWait parks on a WaitGroup while holding mu.
+func (s *q) badWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `blocking sync.WaitGroup.Wait in \(\*q\).badWait while holding q.mu`
+	s.mu.Unlock()
+}
+
+// badRange drains a channel while holding mu.
+func (s *q) badRange() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.ch { // want `blocking range over a channel in \(\*q\).badRange while holding q.mu`
+	}
+}
+
+// okSpawn hands the channel op to a new goroutine: the holder never
+// blocks.
+func (s *q) okSpawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.worker()
+}
+
+func (s *q) worker() {
+	s.ch <- 3
+}
+
+// suppressed documents a deliberate send under the lock.
+func (s *q) suppressed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//ermvet:ignore lockorder fixture: deliberate send under lock to exercise suppression
+	s.ch <- 2
+}
+
+type tree struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+}
+
+func (t *tree) lockAux() {
+	t.aux.Lock()
+	defer t.aux.Unlock()
+}
+
+// nested acquires aux through a call while holding mu: a legitimate
+// ordering edge mu → aux, no cycle, no finding.
+func (t *tree) nested() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lockAux()
+}
+
+func (t *tree) lockSelf() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+}
+
+// recurse calls a function that reacquires the mutex it already holds.
+func (t *tree) recurse() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lockSelf() // want `call to \(\*tree\).lockSelf in \(\*tree\).recurse reacquires tree.mu`
+}
+
+func (t *tree) waits(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// badCall reaches a blocking op through a call while holding mu.
+func (t *tree) badCall(wg *sync.WaitGroup) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.waits(wg) // want `call to \(\*tree\).waits in \(\*tree\).badCall may block \(sync.WaitGroup.Wait\) while holding tree.mu`
+}
+
+type rw struct {
+	mu sync.RWMutex
+}
+
+func (r *rw) rhelp() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return 0
+}
+
+// rok reacquires only in read mode under a read lock: RWMutex read
+// locks are shared, so this is not a self-deadlock.
+func (r *rw) rok() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.rhelp()
+}

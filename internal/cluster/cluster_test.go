@@ -189,7 +189,7 @@ func TestByteIdenticalResponses(t *testing.T) {
 	for _, workers := range []int{1, 2, 4} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			c := newCoordinator(t, Config{Workers: newFleet(t, workers)})
-			for _, path := range []string{"/v1/repair", "/v1/validate"} {
+			for _, path := range []string{serve.PathRepair, serve.PathValidate} {
 				for name, body := range variants(byteBatch) {
 					want := do(single, "POST", path, body)
 					got := do(c, "POST", path, body)
@@ -252,7 +252,7 @@ func TestChaosWorkerKillMidBatch(t *testing.T) {
 	}()
 
 	chaos := &chaosHandler{killOn: func(r *http.Request) bool {
-		return r.Method == http.MethodPost && r.URL.Path == "/v1/repair"
+		return r.Method == http.MethodPost && r.URL.Path == serve.PathRepair
 	}}
 	chaos.armed.Store(true)
 	_, ts0 := newWorker(t, nil)
@@ -266,8 +266,8 @@ func TestChaosWorkerKillMidBatch(t *testing.T) {
 		RetryBackoff: 2 * time.Millisecond,
 	})
 
-	want := do(single, "POST", "/v1/repair", byteBatch)
-	got := do(c, "POST", "/v1/repair", byteBatch)
+	want := do(single, "POST", serve.PathRepair, byteBatch)
+	got := do(c, "POST", serve.PathRepair, byteBatch)
 	if got.Code != http.StatusOK {
 		t.Fatalf("repair with a killed worker answered %d: %s", got.Code, got.Body.String())
 	}
@@ -289,7 +289,7 @@ func TestChaosWorkerKillMidBatch(t *testing.T) {
 		Status         string `json:"status"`
 		WorkersHealthy int    `json:"workers_healthy"`
 	}
-	w := do(c, "GET", "/healthz", "")
+	w := do(c, "GET", serve.PathHealthz, "")
 	decode(t, w, &health)
 	if health.Status != "degraded" || health.WorkersHealthy != 1 {
 		t.Errorf("healthz after kill = %+v, want degraded with 1 healthy worker", health)
@@ -303,7 +303,7 @@ func TestChaosWorkerKillMidBatch(t *testing.T) {
 		t.Fatal("worker 1 not marked alive after revival health round")
 	}
 	before := chaos.served.Load()
-	got = do(c, "POST", "/v1/repair", byteBatch)
+	got = do(c, "POST", serve.PathRepair, byteBatch)
 	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
 		t.Error("merged response after worker revival is not byte-identical to single-node")
 	}
@@ -324,7 +324,7 @@ func TestTwoPhaseRulePush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := do(c, "PUT", "/v1/rules", string(data))
+	w := do(c, "PUT", serve.PathRules, string(data))
 	if w.Code != http.StatusOK {
 		t.Fatalf("PUT /v1/rules: %d: %s", w.Code, w.Body.String())
 	}
@@ -340,7 +340,7 @@ func TestTwoPhaseRulePush(t *testing.T) {
 
 	// Every worker must now serve exactly that generation.
 	for i, u := range urls {
-		resp, err := http.Get(u + "/v1/rules")
+		resp, err := http.Get(u + serve.PathRules)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -371,8 +371,8 @@ func TestTwoPhaseRulePush(t *testing.T) {
 	if _, _, err := single.SwapRules(data); err != nil {
 		t.Fatal(err)
 	}
-	want := do(single, "POST", "/v1/repair", byteBatch)
-	got := do(c, "POST", "/v1/repair", byteBatch)
+	want := do(single, "POST", serve.PathRepair, byteBatch)
+	got := do(c, "POST", serve.PathRepair, byteBatch)
 	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
 		t.Errorf("post-push merged response is not byte-identical\ncoordinator: %s\nsingle-node: %s",
 			got.Body.String(), want.Body.String())
@@ -386,7 +386,7 @@ func TestStageFailureAbortsPush(t *testing.T) {
 	_, ts0 := newWorker(t, nil)
 	_, ts1 := newWorker(t, func(inner http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if r.URL.Path == "/v1/rules/stage" {
+			if r.URL.Path == serve.PathRulesStage {
 				http.Error(w, `{"error":"disk full"}`, http.StatusServiceUnavailable)
 				return
 			}
@@ -399,7 +399,7 @@ func TestStageFailureAbortsPush(t *testing.T) {
 		RetryBackoff: 2 * time.Millisecond,
 	})
 
-	resp, err := http.Get(ts0.URL + "/v1/rules")
+	resp, err := http.Get(ts0.URL + serve.PathRules)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +411,7 @@ func TestStageFailureAbortsPush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := do(c, "PUT", "/v1/rules", string(data))
+	w := do(c, "PUT", serve.PathRules, string(data))
 	if w.Code != http.StatusBadGateway {
 		t.Fatalf("PUT with a wedged stage answered %d, want 502: %s", w.Code, w.Body.String())
 	}
@@ -419,7 +419,7 @@ func TestStageFailureAbortsPush(t *testing.T) {
 		t.Errorf("rulePushes = %d after an aborted push, want 0", n)
 	}
 
-	resp, err = http.Get(ts0.URL + "/v1/rules")
+	resp, err = http.Get(ts0.URL + serve.PathRules)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +436,7 @@ func TestStageFailureAbortsPush(t *testing.T) {
 // activates.
 func TestBadRulesFileRelays400(t *testing.T) {
 	c := newCoordinator(t, Config{Workers: newFleet(t, 2), RetryBackoff: 2 * time.Millisecond})
-	w := do(c, "PUT", "/v1/rules", `{"not": "a rules file"}`)
+	w := do(c, "PUT", serve.PathRules, `{"not": "a rules file"}`)
 	if w.Code != http.StatusBadRequest {
 		t.Fatalf("PUT with garbage answered %d, want the workers' 400 relayed: %s", w.Code, w.Body.String())
 	}
@@ -461,7 +461,7 @@ func TestGenerationSkewDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req, err := http.NewRequest(http.MethodPut, urls[1]+"/v1/rules", bytes.NewReader(data))
+	req, err := http.NewRequest(http.MethodPut, urls[1]+serve.PathRules, bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,17 +482,17 @@ func TestGenerationSkewDetection(t *testing.T) {
 	var health struct {
 		GenerationSkew int `json:"generation_skew"`
 	}
-	decode(t, do(c, "GET", "/healthz", ""), &health)
+	decode(t, do(c, "GET", serve.PathHealthz, ""), &health)
 	if health.GenerationSkew != 2 {
 		t.Errorf("healthz generation_skew = %d, want 2", health.GenerationSkew)
 	}
-	if !strings.Contains(do(c, "GET", "/metrics", "").Body.String(), "ermcluster_generation_skew 2") {
+	if !strings.Contains(do(c, "GET", serve.PathMetrics, "").Body.String(), "ermcluster_generation_skew 2") {
 		t.Error("metrics missing ermcluster_generation_skew 2")
 	}
 
 	// A batch whose sub-batches land on both workers now mixes rule
 	// generations; the merge must refuse.
-	w := do(c, "POST", "/v1/repair", byteBatch)
+	w := do(c, "POST", serve.PathRepair, byteBatch)
 	if w.Code != http.StatusBadGateway {
 		t.Errorf("mixed-generation batch answered %d, want 502: %s", w.Code, w.Body.String())
 	}
@@ -555,7 +555,7 @@ func TestCoordinatorRequestValidation(t *testing.T) {
 		{`{"tuples": [{}], "bogus": 1}`, "bad request body"},
 		{`not json`, "bad request body"},
 	} {
-		w := do(c, "POST", "/v1/repair", tc.body)
+		w := do(c, "POST", serve.PathRepair, tc.body)
 		if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), tc.wantErr) {
 			t.Errorf("body %q answered %d %q, want 400 containing %q", tc.body, w.Code, w.Body.String(), tc.wantErr)
 		}
@@ -576,7 +576,7 @@ func TestNewRejectsBadFleets(t *testing.T) {
 func TestRulesGetProxies(t *testing.T) {
 	urls := newFleet(t, 2)
 	c := newCoordinator(t, Config{Workers: urls})
-	resp, err := http.Get(urls[0] + "/v1/rules")
+	resp, err := http.Get(urls[0] + serve.PathRules)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -588,7 +588,7 @@ func TestRulesGetProxies(t *testing.T) {
 	//ermvet:ignore errdrop test teardown of a fully-read response body
 	resp.Body.Close()
 
-	w := do(c, "GET", "/v1/rules", "")
+	w := do(c, "GET", serve.PathRules, "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("GET /v1/rules: %d: %s", w.Code, w.Body.String())
 	}
@@ -612,13 +612,13 @@ func TestShutdownDrains(t *testing.T) {
 	if err := c.Shutdown(done); err != nil {
 		t.Fatalf("Shutdown: %v", err)
 	}
-	if w := do(c, "POST", "/v1/repair", byteBatch); w.Code != http.StatusServiceUnavailable {
+	if w := do(c, "POST", serve.PathRepair, byteBatch); w.Code != http.StatusServiceUnavailable {
 		t.Errorf("repair after Shutdown answered %d, want 503", w.Code)
 	}
 	var health struct {
 		Status string `json:"status"`
 	}
-	w := do(c, "GET", "/healthz", "")
+	w := do(c, "GET", serve.PathHealthz, "")
 	decode(t, w, &health)
 	if w.Code != http.StatusServiceUnavailable || health.Status != "shutting_down" {
 		t.Errorf("healthz after Shutdown = %d %q, want 503 shutting_down", w.Code, health.Status)
@@ -633,9 +633,9 @@ func TestShutdownDrains(t *testing.T) {
 // ermcluster_ surface is present and counting.
 func TestMetricsShape(t *testing.T) {
 	c := newCoordinator(t, Config{Workers: newFleet(t, 2)})
-	do(c, "POST", "/v1/repair", byteBatch)
-	do(c, "POST", "/v1/validate", byteBatch)
-	body := do(c, "GET", "/metrics", "").Body.String()
+	do(c, "POST", serve.PathRepair, byteBatch)
+	do(c, "POST", serve.PathValidate, byteBatch)
+	body := do(c, "GET", serve.PathMetrics, "").Body.String()
 	for _, want := range []string{
 		"ermcluster_requests_total ",
 		"ermcluster_requests_in_flight_repair 0",

@@ -16,7 +16,7 @@ import (
 func TestDataPatchReplicates(t *testing.T) {
 	c := newCoordinator(t, Config{Workers: newFleet(t, 3)})
 
-	w := do(c, "PATCH", "/v1/data", `{"target": "master", "appends": [
+	w := do(c, "PATCH", serve.PathData, `{"target": "master", "appends": [
 		{"district": "xy", "area": "010", "postcode": "77777"},
 		{"district": "xy", "area": "020", "postcode": "77777"},
 		{"district": "xy", "area": "030", "postcode": "77777"}]}`)
@@ -42,7 +42,7 @@ func TestDataPatchReplicates(t *testing.T) {
 		{"district": "xy", "area": "020"},
 		{"district": "xy", "area": "030"}]}`
 	var rr serve.RepairResponse
-	decode(t, do(c, "POST", "/v1/repair", body), &rr)
+	decode(t, do(c, "POST", serve.PathRepair, body), &rr)
 	if len(rr.Fixes) != 6 {
 		t.Fatalf("repairs from patched replicas: %+v", rr.Fixes)
 	}
@@ -63,7 +63,7 @@ func TestDataPatchDivergenceDetected(t *testing.T) {
 	c := newCoordinator(t, Config{Workers: []string{ts0.URL, ts1.URL}})
 
 	side := `{"target": "input", "updates": [{"row": 0, "attr": "area", "value": "090"}]}`
-	req, err := http.NewRequest(http.MethodPatch, ts0.URL+"/v1/data", strings.NewReader(side))
+	req, err := http.NewRequest(http.MethodPatch, ts0.URL+serve.PathData, strings.NewReader(side))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestDataPatchDivergenceDetected(t *testing.T) {
 		t.Fatalf("side-channel patch of worker 0: status %d", resp.StatusCode)
 	}
 
-	w := do(c, "PATCH", "/v1/data", `{"target": "input", "updates": [{"row": 1, "attr": "area", "value": "091"}]}`)
+	w := do(c, "PATCH", serve.PathData, `{"target": "input", "updates": [{"row": 1, "attr": "area", "value": "091"}]}`)
 	if w.Code != http.StatusBadGateway {
 		t.Fatalf("patch over a diverged fleet: status %d, want 502 (%s)", w.Code, w.Body)
 	}
@@ -95,7 +95,7 @@ func TestDataPatchRejectsBadRequests(t *testing.T) {
 	// bumping it: the probe for "nothing reached the worker".
 	dataVersion := func() int64 {
 		var pr serve.DataPatchResponse
-		decode(t, do(s, "PATCH", "/v1/data",
+		decode(t, do(s, "PATCH", serve.PathData,
 			`{"target": "input", "updates": [{"row": 0, "attr": "district", "value": "hz"}]}`), &pr)
 		return pr.DataVersion
 	}
@@ -107,7 +107,7 @@ func TestDataPatchRejectsBadRequests(t *testing.T) {
 		"bad json":      `{"target": `,
 		"trailing data": `{"target": "input", "updates": [{"row": 0, "attr": "area", "value": "x"}]} garbage`,
 	} {
-		if w := do(c, "PATCH", "/v1/data", body); w.Code != http.StatusBadRequest {
+		if w := do(c, "PATCH", serve.PathData, body); w.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400 (%s)", name, w.Code, w.Body)
 		}
 	}
@@ -125,7 +125,7 @@ func TestDataPatchClosedCoordinator(t *testing.T) {
 	if err := c.Shutdown(done); err != nil {
 		t.Fatal(err)
 	}
-	w := do(c, "PATCH", "/v1/data", `{"target": "input", "updates": [{"row": 0, "attr": "area", "value": "x"}]}`)
+	w := do(c, "PATCH", serve.PathData, `{"target": "input", "updates": [{"row": 0, "attr": "area", "value": "x"}]}`)
 	if w.Code != http.StatusServiceUnavailable {
 		t.Errorf("patch on a closed coordinator: status %d, want 503", w.Code)
 	}

@@ -32,8 +32,11 @@ func retryableStatus(code int) bool {
 // dispatch sends one sub-batch to its pinned worker, retrying with
 // exponential backoff, then hedges across the remaining healthy workers
 // in ring order. It returns the successful worker's raw response bytes
-// (or a *passthrough for a 4xx answer, which the caller relays).
-func (c *Coordinator) dispatch(ctx context.Context, path string, body []byte, pinned int) ([]byte, error) {
+// (or a *passthrough for a 4xx answer, which the caller relays). The
+// method is threaded explicitly from the handler so every hop of a
+// sub-batch carries the same (method, path) pair the httpcontract check
+// resolves against the worker's registered routes.
+func (c *Coordinator) dispatch(ctx context.Context, method, path string, body []byte, pinned int) ([]byte, error) {
 	backoff := c.cfg.retryBackoff()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.retries(); attempt++ {
@@ -44,7 +47,7 @@ func (c *Coordinator) dispatch(ctx context.Context, path string, body []byte, pi
 			}
 			backoff *= 2
 		}
-		data, err := c.tryWorker(ctx, pinned, http.MethodPost, path, body)
+		data, err := c.tryWorker(ctx, pinned, method, path, body)
 		if err == nil {
 			return data, nil
 		}
@@ -68,7 +71,7 @@ func (c *Coordinator) dispatch(ctx context.Context, path string, body []byte, pi
 			continue
 		}
 		c.metrics.redispatches.Add(1)
-		data, err := c.tryWorker(ctx, j, http.MethodPost, path, body)
+		data, err := c.tryWorker(ctx, j, method, path, body)
 		if err == nil {
 			return data, nil
 		}

@@ -16,13 +16,13 @@ import (
 
 func (c *Coordinator) routes() {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/repair", c.handleRepair)
-	mux.HandleFunc("POST /v1/validate", c.handleValidate)
-	mux.HandleFunc("GET /v1/rules", c.handleRulesGet)
-	mux.HandleFunc("PUT /v1/rules", c.handleRulesPut)
-	mux.HandleFunc("PATCH /v1/data", c.handleDataPatch)
-	mux.HandleFunc("GET /healthz", c.handleHealthz)
-	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("POST "+serve.PathRepair, c.handleRepair)
+	mux.HandleFunc("POST "+serve.PathValidate, c.handleValidate)
+	mux.HandleFunc("GET "+serve.PathRules, c.handleRulesGet)
+	mux.HandleFunc("PUT "+serve.PathRules, c.handleRulesPut)
+	mux.HandleFunc("PATCH "+serve.PathData, c.handleDataPatch)
+	mux.HandleFunc("GET "+serve.PathHealthz, c.handleHealthz)
+	mux.HandleFunc("GET "+serve.PathMetrics, c.handleMetrics)
 	c.mux = mux
 }
 
@@ -73,7 +73,7 @@ func (c *Coordinator) decodeBatch(w http.ResponseWriter, r *http.Request, req *s
 // workers that drew no tuples). On failure it writes the HTTP error —
 // relaying the lowest-indexed worker's 4xx verbatim when the fault is
 // the request's — and returns ok=false.
-func (c *Coordinator) fanout(ctx context.Context, w http.ResponseWriter, path string, req serve.TupleBatch, parts [][]int) ([][]byte, bool) {
+func (c *Coordinator) fanout(ctx context.Context, w http.ResponseWriter, method, path string, req serve.TupleBatch, parts [][]int) ([][]byte, bool) {
 	n := len(c.workers)
 	data := make([][]byte, n)
 	errs := make([]error, n)
@@ -99,7 +99,7 @@ func (c *Coordinator) fanout(ctx context.Context, w http.ResponseWriter, path st
 		wg.Add(1)
 		go func(i int, body []byte) {
 			defer wg.Done()
-			data[i], errs[i] = c.dispatch(ctx, path, body, i)
+			data[i], errs[i] = c.dispatch(ctx, method, path, body, i)
 		}(i, body)
 	}
 	wg.Wait()
@@ -163,7 +163,7 @@ func (c *Coordinator) handleRepair(w http.ResponseWriter, r *http.Request) {
 	c.metrics.tuplesSeen.Add(int64(len(req.Tuples)))
 
 	parts := partition(req.Tuples, len(c.workers))
-	data, ok := c.fanout(ctx, w, "/v1/repair", req, parts)
+	data, ok := c.fanout(ctx, w, http.MethodPost, serve.PathRepair, req, parts)
 	if !ok {
 		return
 	}
@@ -230,7 +230,7 @@ func (c *Coordinator) handleValidate(w http.ResponseWriter, r *http.Request) {
 	c.metrics.tuplesSeen.Add(int64(len(req.Tuples)))
 
 	parts := partition(req.Tuples, len(c.workers))
-	data, ok := c.fanout(ctx, w, "/v1/validate", req, parts)
+	data, ok := c.fanout(ctx, w, http.MethodPost, serve.PathValidate, req, parts)
 	if !ok {
 		return
 	}
@@ -270,19 +270,6 @@ func (c *Coordinator) handleValidate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// stageResult is a worker's answer to POST /v1/rules/stage.
-type stageResult struct {
-	ETag  string `json:"etag"`
-	Count int    `json:"count"`
-}
-
-// activateResult is a worker's answer to POST /v1/rules/activate.
-type activateResult struct {
-	Version int64  `json:"version"`
-	Count   int    `json:"count"`
-	ETag    string `json:"etag"`
-}
-
 // handleRulesPut replicates a rule-set generation to the whole fleet in
 // two phases. Phase 1 stages the wire-format file on every worker; each
 // answers the generation's content hash, which must agree everywhere
@@ -308,14 +295,15 @@ func (c *Coordinator) handleRulesPut(w http.ResponseWriter, r *http.Request) {
 
 	// Phase 1: stage everywhere. No hedging — a stage must land on the
 	// very worker it targets, there is no substitute.
-	staged, err := c.pushAll(ctx, http.MethodPost, "/v1/rules/stage", body)
+	//ermvet:ignore lockorder pushMu exists to serialize fleet pushes; the wait is bounded by the per-request context timeout above
+	staged, err := c.pushAll(ctx, http.MethodPost, serve.PathRulesStage, body)
 	if err != nil {
 		c.relayPushError(w, "staging rules", err)
 		return
 	}
 	etag, count := "", 0
 	for i, raw := range staged {
-		var sr stageResult
+		var sr serve.StageResponse
 		if err := json.Unmarshal(raw, &sr); err != nil {
 			httpError(w, http.StatusBadGateway, "decoding worker %d stage response: %v", i, err)
 			return
@@ -329,19 +317,20 @@ func (c *Coordinator) handleRulesPut(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Phase 2: activate the agreed generation everywhere.
-	actBody, err := json.Marshal(map[string]string{"etag": etag})
+	actBody, err := json.Marshal(serve.ActivateRequest{ETag: etag})
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "encoding activate request: %v", err)
 		return
 	}
-	activated, err := c.pushAll(ctx, http.MethodPost, "/v1/rules/activate", actBody)
+	//ermvet:ignore lockorder pushMu exists to serialize fleet pushes; the wait is bounded by the per-request context timeout above
+	activated, err := c.pushAll(ctx, http.MethodPost, serve.PathRulesActivate, actBody)
 	if err != nil {
 		c.relayPushError(w, "activating rules", err)
 		return
 	}
 	version := int64(0)
 	for i, raw := range activated {
-		var ar activateResult
+		var ar serve.RulesAck
 		if err := json.Unmarshal(raw, &ar); err != nil {
 			httpError(w, http.StatusBadGateway, "decoding worker %d activate response: %v", i, err)
 			return
@@ -354,7 +343,7 @@ func (c *Coordinator) handleRulesPut(w http.ResponseWriter, r *http.Request) {
 	c.lastETag, c.lastCount = etag, count
 	c.generation.Add(1)
 	c.metrics.rulePushes.Add(1)
-	writeJSON(w, http.StatusOK, map[string]any{"version": version, "count": count, "etag": etag})
+	writeJSON(w, http.StatusOK, serve.RulesAck{Version: version, Count: count, ETag: etag})
 }
 
 // handleDataPatch replicates a data delta to the whole fleet. Master
@@ -397,7 +386,8 @@ func (c *Coordinator) handleDataPatch(w http.ResponseWriter, r *http.Request) {
 	defer c.pushMu.Unlock()
 	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.requestTimeout())
 	defer cancel()
-	raws, err := c.pushAll(ctx, http.MethodPatch, "/v1/data", body)
+	//ermvet:ignore lockorder pushMu exists to serialize fleet pushes; the wait is bounded by the per-request context timeout above
+	raws, err := c.pushAll(ctx, http.MethodPatch, serve.PathData, body)
 	if err != nil {
 		c.relayPushError(w, "patching data", err)
 		return
@@ -502,7 +492,7 @@ func (c *Coordinator) handleRulesGet(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.perWorkerTimeout())
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.workers[i]+"/v1/rules", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.workers[i]+serve.PathRules, nil)
 		if err != nil {
 			cancel()
 			continue

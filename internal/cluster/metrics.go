@@ -3,19 +3,42 @@ package cluster
 import (
 	"fmt"
 	"io"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	obs "erminer/internal/metrics"
 )
 
-// latencyWindow mirrors the single-node daemon's percentile ring: a
-// fixed window bounds memory, p50/p99 computed at scrape time.
-const latencyWindow = 1024
+// The coordinator's metric names, exported under the ermcluster_ prefix
+// in the same flat `name value` text format as the workers' erminerd_
+// metrics, so one scraper config covers both roles. As in the worker
+// daemon, every name is a const pinned by the ermvet metricdrift
+// manifest: a rename or drop without regenerating metrics_names.json
+// fails the build.
+const (
+	metricUptimeSeconds       = "ermcluster_uptime_seconds"
+	metricRequestsTotal       = "ermcluster_requests_total"
+	metricInFlightRepair      = "ermcluster_requests_in_flight_repair"
+	metricInFlightValidate    = "ermcluster_requests_in_flight_validate"
+	metricTuplesTotal         = "ermcluster_tuples_total"
+	metricRepairsAppliedTotal = "ermcluster_repairs_applied_total"
+	metricWorkersTotal        = "ermcluster_workers_total"
+	metricWorkersHealthy      = "ermcluster_workers_healthy"
+	metricGenerationSkew      = "ermcluster_generation_skew"
+	metricSubbatchesTotal     = "ermcluster_subbatches_total"
+	metricRetriesTotal        = "ermcluster_retries_total"
+	metricRedispatchesTotal   = "ermcluster_redispatches_total"
+	metricWorkerFailuresTotal = "ermcluster_worker_failures_total"
+	metricRulePushesTotal     = "ermcluster_rule_pushes_total"
+	metricDataPatchesTotal    = "ermcluster_data_patches_total"
+	metricRulesGeneration     = "ermcluster_rules_generation"
+	metricHealthChecksTotal   = "ermcluster_health_checks_total"
+	metricRepairLatencyCount  = "ermcluster_repair_latency_count"
+	metricRepairLatencyP50    = "ermcluster_repair_latency_p50_ms"
+	metricRepairLatencyP99    = "ermcluster_repair_latency_p99_ms"
+)
 
-// metrics holds the coordinator's counters, exported under the
-// ermcluster_ prefix in the same flat `name value` text format as the
-// workers' erminerd_ metrics, so one scraper config covers both roles.
+// metrics holds the coordinator's counters.
 type metrics struct {
 	start        time.Time
 	workersTotal int
@@ -33,9 +56,7 @@ type metrics struct {
 	dataPatches      atomic.Int64 // data deltas replicated to the fleet
 	healthChecks     atomic.Int64 // completed health-check rounds
 
-	latMu sync.Mutex
-	lat   [latencyWindow]float64 // guarded by latMu; milliseconds
-	latN  int64                  // guarded by latMu; total observations
+	lat obs.LatencyRing // the shared p50/p99 window estimator
 }
 
 func newMetrics(workers int) *metrics {
@@ -43,56 +64,31 @@ func newMetrics(workers int) *metrics {
 }
 
 func (m *metrics) observeLatency(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.latMu.Lock()
-	m.lat[m.latN%latencyWindow] = ms
-	m.latN++
-	m.latMu.Unlock()
-}
-
-func (m *metrics) percentiles() (p50, p99 float64, total int64) {
-	m.latMu.Lock()
-	total = m.latN
-	n := m.latN
-	if n > latencyWindow {
-		n = latencyWindow
-	}
-	buf := make([]float64, n)
-	copy(buf, m.lat[:n])
-	m.latMu.Unlock()
-	if n == 0 {
-		return 0, 0, total
-	}
-	sort.Float64s(buf)
-	rank := func(q float64) float64 {
-		i := int(q*float64(n-1) + 0.5)
-		return buf[i]
-	}
-	return rank(0.50), rank(0.99), total
+	m.lat.Observe(d)
 }
 
 func (m *metrics) write(w io.Writer, healthy, skew int, generation int64) {
-	p50, p99, latCount := m.percentiles()
-	fmt.Fprintf(w, "ermcluster_uptime_seconds %.0f\n", time.Since(m.start).Seconds())
-	fmt.Fprintf(w, "ermcluster_requests_total %d\n", m.requestsTotal.Load())
-	fmt.Fprintf(w, "ermcluster_requests_in_flight_repair %d\n", m.inFlightRepair.Load())
-	fmt.Fprintf(w, "ermcluster_requests_in_flight_validate %d\n", m.inFlightValidate.Load())
-	fmt.Fprintf(w, "ermcluster_tuples_total %d\n", m.tuplesSeen.Load())
-	fmt.Fprintf(w, "ermcluster_repairs_applied_total %d\n", m.repairsApplied.Load())
-	fmt.Fprintf(w, "ermcluster_workers_total %d\n", m.workersTotal)
-	fmt.Fprintf(w, "ermcluster_workers_healthy %d\n", healthy)
-	fmt.Fprintf(w, "ermcluster_generation_skew %d\n", skew)
-	fmt.Fprintf(w, "ermcluster_subbatches_total %d\n", m.subbatchesTotal.Load())
-	fmt.Fprintf(w, "ermcluster_retries_total %d\n", m.retriesTotal.Load())
-	fmt.Fprintf(w, "ermcluster_redispatches_total %d\n", m.redispatches.Load())
-	fmt.Fprintf(w, "ermcluster_worker_failures_total %d\n", m.workerFailures.Load())
-	fmt.Fprintf(w, "ermcluster_rule_pushes_total %d\n", m.rulePushes.Load())
-	fmt.Fprintf(w, "ermcluster_data_patches_total %d\n", m.dataPatches.Load())
-	fmt.Fprintf(w, "ermcluster_rules_generation %d\n", generation)
-	fmt.Fprintf(w, "ermcluster_health_checks_total %d\n", m.healthChecks.Load())
+	p50, p99, latCount := m.lat.Percentiles()
+	fmt.Fprintf(w, "%s %.0f\n", metricUptimeSeconds, time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "%s %d\n", metricRequestsTotal, m.requestsTotal.Load())
+	fmt.Fprintf(w, "%s %d\n", metricInFlightRepair, m.inFlightRepair.Load())
+	fmt.Fprintf(w, "%s %d\n", metricInFlightValidate, m.inFlightValidate.Load())
+	fmt.Fprintf(w, "%s %d\n", metricTuplesTotal, m.tuplesSeen.Load())
+	fmt.Fprintf(w, "%s %d\n", metricRepairsAppliedTotal, m.repairsApplied.Load())
+	fmt.Fprintf(w, "%s %d\n", metricWorkersTotal, m.workersTotal)
+	fmt.Fprintf(w, "%s %d\n", metricWorkersHealthy, healthy)
+	fmt.Fprintf(w, "%s %d\n", metricGenerationSkew, skew)
+	fmt.Fprintf(w, "%s %d\n", metricSubbatchesTotal, m.subbatchesTotal.Load())
+	fmt.Fprintf(w, "%s %d\n", metricRetriesTotal, m.retriesTotal.Load())
+	fmt.Fprintf(w, "%s %d\n", metricRedispatchesTotal, m.redispatches.Load())
+	fmt.Fprintf(w, "%s %d\n", metricWorkerFailuresTotal, m.workerFailures.Load())
+	fmt.Fprintf(w, "%s %d\n", metricRulePushesTotal, m.rulePushes.Load())
+	fmt.Fprintf(w, "%s %d\n", metricDataPatchesTotal, m.dataPatches.Load())
+	fmt.Fprintf(w, "%s %d\n", metricRulesGeneration, generation)
+	fmt.Fprintf(w, "%s %d\n", metricHealthChecksTotal, m.healthChecks.Load())
 	// As on the workers: every outcome is counted, so the percentiles can
 	// be read against the true request population.
-	fmt.Fprintf(w, "ermcluster_repair_latency_count %d\n", latCount)
-	fmt.Fprintf(w, "ermcluster_repair_latency_p50_ms %.3f\n", p50)
-	fmt.Fprintf(w, "ermcluster_repair_latency_p99_ms %.3f\n", p99)
+	fmt.Fprintf(w, "%s %d\n", metricRepairLatencyCount, latCount)
+	fmt.Fprintf(w, "%s %.3f\n", metricRepairLatencyP50, p50)
+	fmt.Fprintf(w, "%s %.3f\n", metricRepairLatencyP99, p99)
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"sync"
+
+	"erminer/internal/serve"
 )
 
 // WorkerStatus is one worker's last observed health, as reported by the
@@ -107,15 +109,6 @@ func (r *registry) generationSkew() int {
 	return distinct
 }
 
-// workerHealth is the slice of a worker's /healthz body the coordinator
-// reads. Workers emit more fields; decoding is deliberately loose so a
-// worker a minor version ahead still health-checks.
-type workerHealth struct {
-	Status       string `json:"status"`
-	RulesETag    string `json:"rules_etag"`
-	RulesVersion int64  `json:"rules_version"`
-}
-
 // checkAll probes every worker's /healthz once, sequentially (the fleet
 // is small and the probe timeout short; one slow worker delaying the
 // others' freshness by a probe period is acceptable). The background
@@ -130,7 +123,7 @@ func (c *Coordinator) checkAll() {
 func (c *Coordinator) checkWorker(i int) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.perWorkerTimeout())
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.workers[i]+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.workers[i]+serve.PathHealthz, nil)
 	if err != nil {
 		c.reg.markDead(i, err)
 		return
@@ -147,7 +140,10 @@ func (c *Coordinator) checkWorker(i int) {
 		c.reg.markDead(i, err)
 		return
 	}
-	var h workerHealth
+	// The worker's full wire shape is decoded (not a local projection):
+	// json.Unmarshal stays loose about extra fields, so a worker a minor
+	// version ahead still health-checks.
+	var h serve.HealthResponse
 	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &h) != nil || h.Status != "ok" {
 		c.reg.markDead(i, fmt.Errorf("healthz answered HTTP %d status %q", resp.StatusCode, h.Status))
 		return

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyWindow is the number of recent request latencies a LatencyRing
+// keeps. A fixed ring bounds memory under sustained traffic; p50/p99
+// are computed over the window at scrape time.
+const LatencyWindow = 1024
+
+// LatencyRing is the shared p50/p99 latency estimator behind the
+// erminerd_/ermcluster_ repair_latency_* metric lines. Both serving
+// roles observe every request outcome into one ring — 4xx, queue
+// rejections and timeouts included — so the percentile lines describe
+// what clients actually experience, not just the successes. The zero
+// value is ready to use; hold it by pointer (it contains a mutex).
+type LatencyRing struct {
+	mu  sync.Mutex
+	buf [LatencyWindow]float64 // guarded by mu; milliseconds
+	n   int64                  // guarded by mu; total observations (ring write cursor = n % window)
+}
+
+// Observe records one request latency.
+func (r *LatencyRing) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.buf[r.n%LatencyWindow] = ms
+	r.n++
+	r.mu.Unlock()
+}
+
+// Percentiles returns p50 and p99 over the latency window, in
+// milliseconds, plus the total number of observations ever made (the
+// window only bounds what the percentiles are computed over). Zeroes
+// when nothing has been observed yet.
+func (r *LatencyRing) Percentiles() (p50, p99 float64, total int64) {
+	r.mu.Lock()
+	total = r.n
+	n := r.n
+	if n > LatencyWindow {
+		n = LatencyWindow
+	}
+	buf := make([]float64, n)
+	copy(buf, r.buf[:n])
+	r.mu.Unlock()
+	if n == 0 {
+		return 0, 0, total
+	}
+	sort.Float64s(buf)
+	rank := func(q float64) float64 {
+		i := int(q*float64(n-1) + 0.5)
+		return buf[i]
+	}
+	return rank(0.50), rank(0.99), total
+}

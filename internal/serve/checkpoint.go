@@ -17,11 +17,19 @@ import (
 // Config.CheckpointDir) that lets a restarted daemon re-create an
 // rlminer job interrupted by process death. It is written when the job
 // starts and removed when the job reaches any terminal state, so a
-// manifest found at startup always denotes interrupted work.
+// manifest found at startup always denotes interrupted work. The shape
+// survives a daemon restart — possibly across a binary upgrade — so it
+// is wire-versioned like the HTTP payloads.
+//
+//ermvet:wire
 type jobManifest struct {
 	ID   string  `json:"id"`
 	Spec JobSpec `json:"spec"`
 }
+
+// jobManifestVersion pins the manifest layout; bump on any change to
+// jobManifest or the shapes it embeds.
+const jobManifestVersion = 1
 
 // runRLMinerJob runs an rlminer job, wiring training progress into the
 // job's status. With Config.CheckpointDir set it also writes crash-safe

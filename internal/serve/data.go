@@ -40,6 +40,8 @@ type DataCellJSON struct {
 // shape; absent columns are Null. The whole delta is validated before
 // any of it is applied — a bad row index or unknown column leaves the
 // data untouched.
+//
+//ermvet:wire
 type DataPatchRequest struct {
 	// Target selects the relation: "input" (the mining corpus) or
 	// "master" (the reference data repairs are drawn from).
@@ -55,12 +57,17 @@ type DataPatchRequest struct {
 	RemineSteps int `json:"remine_steps,omitempty"`
 }
 
+// DataPatchRequestVersion numbers the PATCH /v1/data request shape.
+const DataPatchRequestVersion = 1
+
 // DataPatchResponse reports what a PATCH /v1/data changed: the data
 // side (rows appended, columns touched, the relation's new version)
 // and the rule side (how many active rules were re-scored, how many
 // fell below the thresholds and were dropped, and the generation now
 // serving). An ermcluster coordinator compares DataVersion and
 // RulesETag across workers to verify the fleet converged.
+//
+//ermvet:wire
 type DataPatchResponse struct {
 	Target         string   `json:"target"`
 	AppendedRows   int      `json:"appended_rows"`
@@ -75,6 +82,9 @@ type DataPatchResponse struct {
 	RemineJob      string   `json:"remine_job,omitempty"`
 	RemineError    string   `json:"remine_error,omitempty"`
 }
+
+// DataPatchResponseVersion numbers the PATCH /v1/data response shape.
+const DataPatchResponseVersion = 1
 
 // patchEnv captures, under dictMu, every piece of serving state the
 // post-patch steps need, so cache patching and re-validation touch no

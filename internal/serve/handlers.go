@@ -17,18 +17,18 @@ import (
 
 func (s *Server) routes() {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/repair", s.handleRepair)
-	mux.HandleFunc("POST /v1/validate", s.handleValidate)
-	mux.HandleFunc("GET /v1/rules", s.handleRulesGet)
-	mux.HandleFunc("PUT /v1/rules", s.handleRulesPut)
-	mux.HandleFunc("POST /v1/rules/stage", s.handleRulesStage)
-	mux.HandleFunc("POST /v1/rules/activate", s.handleRulesActivate)
-	mux.HandleFunc("PATCH /v1/data", s.handleDataPatch)
-	mux.HandleFunc("POST /v1/jobs", s.handleJobsPost)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobsGet)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST "+PathRepair, s.handleRepair)
+	mux.HandleFunc("POST "+PathValidate, s.handleValidate)
+	mux.HandleFunc("GET "+PathRules, s.handleRulesGet)
+	mux.HandleFunc("PUT "+PathRules, s.handleRulesPut)
+	mux.HandleFunc("POST "+PathRulesStage, s.handleRulesStage)
+	mux.HandleFunc("POST "+PathRulesActivate, s.handleRulesActivate)
+	mux.HandleFunc("PATCH "+PathData, s.handleDataPatch)
+	mux.HandleFunc("POST "+PathJobs, s.handleJobsPost)
+	mux.HandleFunc("GET "+PathJobs, s.handleJobsList)
+	mux.HandleFunc("GET "+PathJobByID, s.handleJobsGet)
+	mux.HandleFunc("GET "+PathHealthz, s.handleHealthz)
+	mux.HandleFunc("GET "+PathMetrics, s.handleMetrics)
 	s.mux = mux
 }
 
@@ -66,6 +66,8 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 // below) so the ermcluster coordinator speaks exactly this wire shape
 // when fanning out sub-batches — byte-identical merged responses
 // require one definition, not a parallel copy that can drift.
+//
+//ermvet:wire
 type TupleBatch struct {
 	Tuples []map[string]string `json:"tuples"`
 	// OnlyMissing restricts repair to Null cells (imputation mode).
@@ -144,6 +146,14 @@ type CandidateJSON struct {
 	Score float64 `json:"score"`
 }
 
+// TupleBatchVersion numbers the shared /v1/repair / /v1/validate
+// request shape.
+const TupleBatchVersion = 1
+
+// RepairResponse is the /v1/repair response body, merged sub-batch by
+// sub-batch on the coordinator.
+//
+//ermvet:wire
 type RepairResponse struct {
 	Tuples       []map[string]string `json:"tuples"`
 	Fixes        []FixJSON           `json:"fixes"`
@@ -151,6 +161,9 @@ type RepairResponse struct {
 	Changed      int                 `json:"changed"`
 	RulesVersion int64               `json:"rules_version"`
 }
+
+// RepairResponseVersion numbers the /v1/repair response shape.
+const RepairResponseVersion = 1
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
@@ -265,6 +278,10 @@ type ValidationJSON struct {
 	Score    float64 `json:"score,omitempty"`
 }
 
+// ValidateResponse is the /v1/validate response body, merged sub-batch
+// by sub-batch on the coordinator.
+//
+//ermvet:wire
 type ValidateResponse struct {
 	Results      []ValidationJSON `json:"results"`
 	Violations   int              `json:"violations"`
@@ -272,6 +289,9 @@ type ValidateResponse struct {
 	Uncovered    int              `json:"uncovered"`
 	RulesVersion int64            `json:"rules_version"`
 }
+
+// ValidateResponseVersion numbers the /v1/validate response shape.
+const ValidateResponseVersion = 1
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
@@ -370,6 +390,20 @@ func (s *Server) handleRulesGet(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// RulesAck is the response body of PUT /v1/rules and of
+// POST /v1/rules/activate: the generation the rules landed as. The
+// coordinator relays it verbatim to its own caller.
+//
+//ermvet:wire
+type RulesAck struct {
+	Version int64  `json:"version"`
+	Count   int    `json:"count"`
+	ETag    string `json:"etag"`
+}
+
+// RulesAckVersion numbers the rule-swap acknowledgement shape.
+const RulesAckVersion = 1
+
 func (s *Server) handleRulesPut(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
 	if err != nil {
@@ -381,7 +415,7 @@ func (s *Server) handleRulesPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"version": version, "count": count, "etag": s.rules().etag})
+	writeJSON(w, http.StatusOK, RulesAck{Version: version, Count: count, ETag: s.rules().etag})
 }
 
 // handleRulesStage is phase one of the cluster's two-phase rule push:
@@ -399,15 +433,36 @@ func (s *Server) handleRulesStage(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"etag": etag, "count": count})
+	writeJSON(w, http.StatusOK, StageResponse{ETag: etag, Count: count})
 }
+
+// StageResponse is the response body of POST /v1/rules/stage: the
+// content hash the staged generation can later be activated by.
+//
+//ermvet:wire
+type StageResponse struct {
+	ETag  string `json:"etag"`
+	Count int    `json:"count"`
+}
+
+// StageResponseVersion numbers the staging response shape.
+const StageResponseVersion = 1
+
+// ActivateRequest is the request body of POST /v1/rules/activate,
+// naming the staged generation to swap in by its content hash.
+//
+//ermvet:wire
+type ActivateRequest struct {
+	ETag string `json:"etag"`
+}
+
+// ActivateRequestVersion numbers the activation request shape.
+const ActivateRequestVersion = 1
 
 // handleRulesActivate is phase two: atomically swap in the staged
 // generation named by the request's etag.
 func (s *Server) handleRulesActivate(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		ETag string `json:"etag"`
-	}
+	var req ActivateRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
@@ -417,7 +472,7 @@ func (s *Server) handleRulesActivate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"version": version, "count": count, "etag": req.ETag})
+	writeJSON(w, http.StatusOK, RulesAck{Version: version, Count: count, ETag: req.ETag})
 }
 
 func (s *Server) handleJobsPost(w http.ResponseWriter, r *http.Request) {
@@ -459,6 +514,25 @@ func (s *Server) handleJobsGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
+// HealthResponse is the worker's /healthz body. The coordinator's
+// registry decodes it to track per-worker liveness and rules-generation
+// skew, so it is a pinned wire shape like the batch responses.
+//
+//ermvet:wire
+type HealthResponse struct {
+	Status        string `json:"status"`
+	Role          string `json:"role,omitempty"`
+	RulesActive   int    `json:"rules_active"`
+	RulesVersion  int64  `json:"rules_version"`
+	RulesETag     string `json:"rules_etag"`
+	JobsQueued    int    `json:"jobs_queued"`
+	JobsRunning   int    `json:"jobs_running"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+// HealthResponseVersion numbers the worker health-probe shape.
+const HealthResponseVersion = 1
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	rs := s.rules()
 	queued, running := s.jobs.depths()
@@ -468,19 +542,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "shutting_down"
 		code = http.StatusServiceUnavailable
 	}
-	body := map[string]any{
-		"status":         status,
-		"rules_active":   len(rs.rules),
-		"rules_version":  rs.version,
-		"rules_etag":     rs.etag,
-		"jobs_queued":    queued,
-		"jobs_running":   running,
-		"uptime_seconds": int64(time.Since(s.metrics.start).Seconds()),
-	}
-	if s.cfg.Role != "" {
-		body["role"] = s.cfg.Role
-	}
-	writeJSON(w, code, body)
+	writeJSON(w, code, HealthResponse{
+		Status:        status,
+		Role:          s.cfg.Role,
+		RulesActive:   len(rs.rules),
+		RulesVersion:  rs.version,
+		RulesETag:     rs.etag,
+		JobsQueued:    queued,
+		JobsRunning:   running,
+		UptimeSeconds: int64(time.Since(s.metrics.start).Seconds()),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -3,16 +3,43 @@ package serve
 import (
 	"fmt"
 	"io"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	obs "erminer/internal/metrics"
 )
 
-// latencyWindow is the number of recent request latencies the percentile
-// estimator keeps. A fixed ring bounds memory under sustained traffic;
-// p50/p99 are computed over the window at scrape time.
-const latencyWindow = 1024
+// The daemon's metric names. Every name is a const (not an inline
+// Fprintf literal) so the ermvet metricdrift check can pin the full set
+// in its golden manifest: renaming or dropping a line here without
+// regenerating metrics_names.json fails the build, the same way a wire
+// shape cannot drift without a version bump.
+const (
+	metricUptimeSeconds       = "erminerd_uptime_seconds"
+	metricRequestsTotal       = "erminerd_requests_total"
+	metricInFlight            = "erminerd_requests_in_flight"
+	metricInFlightRepair      = "erminerd_requests_in_flight_repair"
+	metricInFlightValidate    = "erminerd_requests_in_flight_validate"
+	metricQueueDepth          = "erminerd_queue_depth"
+	metricRejectedTotal       = "erminerd_rejected_total"
+	metricTimeoutsTotal       = "erminerd_timeouts_total"
+	metricTuplesTotal         = "erminerd_tuples_total"
+	metricRepairsAppliedTotal = "erminerd_repairs_applied_total"
+	metricIndexBuildsTotal    = "erminerd_index_builds_total"
+	metricRulesActive         = "erminerd_rules_active"
+	metricRulesVersion        = "erminerd_rules_version"
+	metricRuleSwapsTotal      = "erminerd_rule_swaps_total"
+	metricRulesStagedTotal    = "erminerd_rules_staged_total"
+	metricDataPatchesTotal    = "erminerd_data_patches_total"
+	metricJobsQueued          = "erminerd_jobs_queued"
+	metricJobsRunning         = "erminerd_jobs_running"
+	metricJobsDoneTotal       = "erminerd_jobs_done_total"
+	metricJobsFailedTotal     = "erminerd_jobs_failed_total"
+	metricJobsRecoveredTotal  = "erminerd_jobs_recovered_total"
+	metricRepairLatencyCount  = "erminerd_repair_latency_count"
+	metricRepairLatencyP50    = "erminerd_repair_latency_p50_ms"
+	metricRepairLatencyP99    = "erminerd_repair_latency_p99_ms"
+)
 
 // metrics holds the daemon's plain-text counters. Hot-path updates are
 // atomic; only the latency ring takes a lock (one short critical section
@@ -37,9 +64,7 @@ type metrics struct {
 	jobsFailed       atomic.Int64
 	jobsRecovered    atomic.Int64 // jobs resumed from checkpoints at startup
 
-	latMu sync.Mutex
-	lat   [latencyWindow]float64 // guarded by latMu; milliseconds
-	latN  int64                  // guarded by latMu; total observations (ring write cursor = latN % window)
+	lat obs.LatencyRing // the shared p50/p99 window estimator
 }
 
 func newMetrics() *metrics {
@@ -47,67 +72,38 @@ func newMetrics() *metrics {
 }
 
 func (m *metrics) observeLatency(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.latMu.Lock()
-	m.lat[m.latN%latencyWindow] = ms
-	m.latN++
-	m.latMu.Unlock()
-}
-
-// percentiles returns p50 and p99 over the latency window, in
-// milliseconds, plus the total number of observations ever made (the
-// window only bounds what the percentiles are computed over). Zeroes
-// when nothing has been observed yet.
-func (m *metrics) percentiles() (p50, p99 float64, total int64) {
-	m.latMu.Lock()
-	total = m.latN
-	n := m.latN
-	if n > latencyWindow {
-		n = latencyWindow
-	}
-	buf := make([]float64, n)
-	copy(buf, m.lat[:n])
-	m.latMu.Unlock()
-	if n == 0 {
-		return 0, 0, total
-	}
-	sort.Float64s(buf)
-	rank := func(q float64) float64 {
-		i := int(q*float64(n-1) + 0.5)
-		return buf[i]
-	}
-	return rank(0.50), rank(0.99), total
+	m.lat.Observe(d)
 }
 
 // write renders the counters in a flat `name value` text format (one
 // metric per line, Prometheus-parsable as untyped gauges).
 func (m *metrics) write(w io.Writer, rulesActive int, rulesVersion int64, jobsQueued, jobsRunning int) {
-	p50, p99, latCount := m.percentiles()
-	fmt.Fprintf(w, "erminerd_uptime_seconds %.0f\n", time.Since(m.start).Seconds())
-	fmt.Fprintf(w, "erminerd_requests_total %d\n", m.requestsTotal.Load())
-	fmt.Fprintf(w, "erminerd_requests_in_flight %d\n", m.inFlight.Load())
-	fmt.Fprintf(w, "erminerd_requests_in_flight_repair %d\n", m.inFlightRepair.Load())
-	fmt.Fprintf(w, "erminerd_requests_in_flight_validate %d\n", m.inFlightValidate.Load())
-	fmt.Fprintf(w, "erminerd_queue_depth %d\n", m.queueDepth.Load())
-	fmt.Fprintf(w, "erminerd_rejected_total %d\n", m.rejectedTotal.Load())
-	fmt.Fprintf(w, "erminerd_timeouts_total %d\n", m.timeoutsTotal.Load())
-	fmt.Fprintf(w, "erminerd_tuples_total %d\n", m.tuplesSeen.Load())
-	fmt.Fprintf(w, "erminerd_repairs_applied_total %d\n", m.repairsApplied.Load())
-	fmt.Fprintf(w, "erminerd_index_builds_total %d\n", m.indexBuilds.Load())
-	fmt.Fprintf(w, "erminerd_rules_active %d\n", rulesActive)
-	fmt.Fprintf(w, "erminerd_rules_version %d\n", rulesVersion)
-	fmt.Fprintf(w, "erminerd_rule_swaps_total %d\n", m.ruleSwaps.Load())
-	fmt.Fprintf(w, "erminerd_rules_staged_total %d\n", m.rulesStaged.Load())
-	fmt.Fprintf(w, "erminerd_data_patches_total %d\n", m.dataPatches.Load())
-	fmt.Fprintf(w, "erminerd_jobs_queued %d\n", jobsQueued)
-	fmt.Fprintf(w, "erminerd_jobs_running %d\n", jobsRunning)
-	fmt.Fprintf(w, "erminerd_jobs_done_total %d\n", m.jobsDone.Load())
-	fmt.Fprintf(w, "erminerd_jobs_failed_total %d\n", m.jobsFailed.Load())
-	fmt.Fprintf(w, "erminerd_jobs_recovered_total %d\n", m.jobsRecovered.Load())
+	p50, p99, latCount := m.lat.Percentiles()
+	fmt.Fprintf(w, "%s %.0f\n", metricUptimeSeconds, time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "%s %d\n", metricRequestsTotal, m.requestsTotal.Load())
+	fmt.Fprintf(w, "%s %d\n", metricInFlight, m.inFlight.Load())
+	fmt.Fprintf(w, "%s %d\n", metricInFlightRepair, m.inFlightRepair.Load())
+	fmt.Fprintf(w, "%s %d\n", metricInFlightValidate, m.inFlightValidate.Load())
+	fmt.Fprintf(w, "%s %d\n", metricQueueDepth, m.queueDepth.Load())
+	fmt.Fprintf(w, "%s %d\n", metricRejectedTotal, m.rejectedTotal.Load())
+	fmt.Fprintf(w, "%s %d\n", metricTimeoutsTotal, m.timeoutsTotal.Load())
+	fmt.Fprintf(w, "%s %d\n", metricTuplesTotal, m.tuplesSeen.Load())
+	fmt.Fprintf(w, "%s %d\n", metricRepairsAppliedTotal, m.repairsApplied.Load())
+	fmt.Fprintf(w, "%s %d\n", metricIndexBuildsTotal, m.indexBuilds.Load())
+	fmt.Fprintf(w, "%s %d\n", metricRulesActive, rulesActive)
+	fmt.Fprintf(w, "%s %d\n", metricRulesVersion, rulesVersion)
+	fmt.Fprintf(w, "%s %d\n", metricRuleSwapsTotal, m.ruleSwaps.Load())
+	fmt.Fprintf(w, "%s %d\n", metricRulesStagedTotal, m.rulesStaged.Load())
+	fmt.Fprintf(w, "%s %d\n", metricDataPatchesTotal, m.dataPatches.Load())
+	fmt.Fprintf(w, "%s %d\n", metricJobsQueued, jobsQueued)
+	fmt.Fprintf(w, "%s %d\n", metricJobsRunning, jobsRunning)
+	fmt.Fprintf(w, "%s %d\n", metricJobsDoneTotal, m.jobsDone.Load())
+	fmt.Fprintf(w, "%s %d\n", metricJobsFailedTotal, m.jobsFailed.Load())
+	fmt.Fprintf(w, "%s %d\n", metricJobsRecoveredTotal, m.jobsRecovered.Load())
 	// latency_count tallies every repair/validate outcome — 4xx, 429s
 	// and timeouts included — so the percentile lines above can be read
 	// against the real request population, not just the successes.
-	fmt.Fprintf(w, "erminerd_repair_latency_count %d\n", latCount)
-	fmt.Fprintf(w, "erminerd_repair_latency_p50_ms %.3f\n", p50)
-	fmt.Fprintf(w, "erminerd_repair_latency_p99_ms %.3f\n", p99)
+	fmt.Fprintf(w, "%s %d\n", metricRepairLatencyCount, latCount)
+	fmt.Fprintf(w, "%s %.3f\n", metricRepairLatencyP50, p50)
+	fmt.Fprintf(w, "%s %.3f\n", metricRepairLatencyP99, p99)
 }

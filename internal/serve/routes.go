@@ -1,0 +1,23 @@
+package serve
+
+// The daemon's route paths, shared with the ermcluster coordinator so
+// both sides of the coordinator↔worker protocol name every endpoint
+// through one set of constants. The ermvet httpcontract check resolves
+// each client-side (method, path) pair against the registered routes by
+// constant-folding these, so a path typo (or a client calling a route
+// no daemon registers) fails the build instead of surfacing as a
+// runtime 404. Registration patterns are built as "METHOD " + Path…
+// string concatenations, which the Go 1.22 ServeMux parses and the
+// type checker still folds to constants.
+const (
+	PathRepair        = "/v1/repair"
+	PathValidate      = "/v1/validate"
+	PathRules         = "/v1/rules"
+	PathRulesStage    = "/v1/rules/stage"
+	PathRulesActivate = "/v1/rules/activate"
+	PathData          = "/v1/data"
+	PathJobs          = "/v1/jobs"
+	PathJobByID       = "/v1/jobs/{id}"
+	PathHealthz       = "/healthz"
+	PathMetrics       = "/metrics"
+)

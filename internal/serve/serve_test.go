@@ -726,7 +726,7 @@ func TestLatencyObservedOnFailures(t *testing.T) {
 	if w := do(s, "POST", "/v1/validate", `{"bogus": 1}`); w.Code != http.StatusBadRequest {
 		t.Fatalf("bad validate: status %d, want 400", w.Code)
 	}
-	if _, _, n := s.metrics.percentiles(); n != 2 {
+	if _, _, n := s.metrics.lat.Percentiles(); n != 2 {
 		t.Errorf("latency observations after two 4xx requests = %d, want 2", n)
 	}
 	if !strings.Contains(do(s, "GET", "/metrics", "").Body.String(), "erminerd_repair_latency_count 2") {

@@ -49,8 +49,13 @@ echo "$bench_out" | awk '$1 ~ /^BenchmarkEvaluate\/columnar/ {
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -shuffle=on ./..."
+# -shuffle=on randomizes test and subtest order: an inter-test ordering
+# dependency (state leaking through a package-level variable, a test
+# relying on an earlier test's side effect) fails here instead of
+# surfacing as CI flakiness later. The seed is logged on failure for
+# reproduction.
+go test -race -shuffle=on ./...
 
 echo "== checkpoint kill-resume smoke"
 # Kill an RLMiner run mid-training (injected exit 3), resume it from its
